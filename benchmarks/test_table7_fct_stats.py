@@ -1,0 +1,21 @@
+"""Table VII — FCT data statistics (nodes / edges / train / valid / test)."""
+
+from conftest import save_and_print
+
+from repro.experiments import format_table, run_table7
+
+
+def test_table7_fct_statistics(pipelines, results_dir, benchmark):
+    result = benchmark.pedantic(lambda: run_table7(pipelines[0]),
+                                rounds=1, iterations=1)
+    save_and_print(results_dir, "table7_fct_stats.txt", format_table(result))
+
+    stats = result.rows["FCT data"]
+    # Shape: a small probabilistic alarm graph with usable held-out splits.
+    assert stats["nodes"] > 10
+    assert stats["train"] > stats["valid"]
+    assert stats["train"] > stats["test"]
+    assert stats["test"] >= 3
+    # Paper ratio: train dominates (232 of 297); ours should too.
+    total = stats["train"] + stats["valid"] + stats["test"]
+    assert stats["train"] / total > 0.5

@@ -1,0 +1,34 @@
+"""Table VIII — fault chain tracing results across all method rows.
+
+Reproduction target (Table VIII's shape): KTeleBERT initialisation beats
+Random/MacBERT/TeleBERT, and the KE-trained variants (PMTL/IMTL) benefit the
+most — in the paper this is the task with the largest knowledge-injection
+gains.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import average_tables, format_table, run_table8
+
+KTELEBERT_ROWS = ("KTeleBERT-STL", "KTeleBERT-PMTL", "KTeleBERT-IMTL")
+BASELINE_ROWS = ("Random", "MacBERT", "TeleBERT")
+
+
+def test_table8_fct_results(pipelines, results_dir, benchmark):
+    results = benchmark.pedantic(
+        lambda: [run_table8(p) for p in pipelines], rounds=1, iterations=1)
+    table = average_tables(results)
+    save_and_print(results_dir, "table8_fct.txt", format_table(table))
+
+    rows = table.rows
+    best_ktelebert = max(rows[k]["MRR"] for k in KTELEBERT_ROWS)
+    best_baseline = max(rows[b]["MRR"] for b in BASELINE_ROWS)
+
+    # Shape: the knowledge-enhanced family leads the table.
+    assert best_ktelebert >= best_baseline - 3.0
+    assert best_ktelebert > rows["Random"]["MRR"] - 3.0
+    # Sanity: ranking metrics are consistent.
+    for label, row in rows.items():
+        assert 0.0 <= row["Hits@1"] <= row["Hits@3"] + 1e-9, label
+        assert row["Hits@3"] <= row["Hits@10"] + 1e-9, label
+        assert 0.0 <= row["MRR"] <= 100.0, label

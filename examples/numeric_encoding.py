@@ -1,0 +1,88 @@
+"""Adaptive numeric encoding (ANEnc) demo — the Fig. 10 effect in isolation.
+
+Trains a small ANEnc + NDec with the numerical contrastive loss and shows
+that (a) values round-trip through the autoencoder and (b) embedding distance
+tracks value distance, including for a tag name never seen in training
+(the open-field property motivating ANEnc, Sec. IV-B).
+
+    python examples/numeric_encoding.py
+"""
+
+import numpy as np
+
+from repro.nn.optim import Adam
+from repro.numeric import (
+    AdaptiveNumericEncoder,
+    NumericDecoder,
+    NumericLossComputer,
+    TagNormalizer,
+)
+from repro.tensor import Tensor, no_grad
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    d_model = 16
+    # Three numeric fields with wildly different ranges — per-tag min-max
+    # normalisation makes them comparable (Sec. IV-B).
+    raw = {
+        "registration success rate": rng.uniform(80, 100, 200),
+        "paging response delay": rng.uniform(5, 400, 200),
+        "board temperature reading": rng.uniform(20, 95, 200),
+    }
+    tags = [t for t, vs in raw.items() for _ in vs]
+    values = np.concatenate(list(raw.values()))
+    normalizer = TagNormalizer().fit(tags, values)
+    print(f"fitted normaliser over {normalizer.num_tags} tags")
+
+    # Random (but fixed) tag-name embeddings stand in for the PLM pooling.
+    tag_vectors = {t: rng.normal(size=d_model) for t in raw}
+
+    encoder = AdaptiveNumericEncoder(d_model, num_layers=2, num_meta=4,
+                                     lora_rank=4,
+                                     rng=np.random.default_rng(1))
+    decoder = NumericDecoder(d_model, np.random.default_rng(2))
+    losses = NumericLossComputer(use_tag_classifier=False)
+    optimizer = Adam(encoder.parameters() + decoder.parameters() +
+                     losses.parameters(), lr=5e-3)
+
+    for step in range(150):
+        batch_tags = [tags[i] for i in rng.integers(0, len(tags), 24)]
+        batch_raw = [float(rng.uniform(*
+                     (min(raw[t]), max(raw[t])))) for t in batch_tags]
+        batch_norm = normalizer.transform(batch_tags, batch_raw)
+        tag_embedding = Tensor(np.stack([tag_vectors[t] for t in batch_tags]))
+        optimizer.zero_grad()
+        h = encoder(batch_norm, tag_embedding)
+        out = losses(encoder, h, decoder(h), batch_norm)
+        out.total.backward()
+        optimizer.step()
+        if step % 50 == 0:
+            print(f"step {step:>3}: L_reg={out.regression:.4f} "
+                  f"L_nc={out.contrastive:.4f} orth={out.orthogonal:.4f}")
+
+    # Round-trip check on a seen tag.
+    tag = "paging response delay"
+    sweep = np.linspace(0, 1, 9)
+    with no_grad():
+        h = encoder(sweep, Tensor(np.tile(tag_vectors[tag], (9, 1))))
+        decoded = decoder(h).data
+    print(f"\nvalue round-trip for '{tag}':")
+    for v, d in zip(sweep, decoded):
+        print(f"  in={v:.2f}  decoded={d:+.2f}")
+
+    # Unseen tag: ANEnc still orders values (field-adaptive by design).
+    unseen = rng.normal(size=d_model)
+    with no_grad():
+        h = encoder(sweep, Tensor(np.tile(unseen, (9, 1)))).data
+    unit = h / np.linalg.norm(h, axis=1, keepdims=True)
+    sim_near = float(unit[0] @ unit[1])
+    sim_far = float(unit[0] @ unit[8])
+    print(f"\nunseen tag: sim(v=0.00, v=0.12) = {sim_near:.3f}  vs  "
+          f"sim(v=0.00, v=1.00) = {sim_far:.3f}")
+    print("closer values -> more similar embeddings"
+          if sim_near > sim_far else "ordering did not emerge at this scale")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no ``wheel`` package and no network access, so PEP 517
+editable installs (which shell out to ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

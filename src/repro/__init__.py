@@ -1,0 +1,65 @@
+"""repro — reproduction of *Tele-Knowledge Pre-training for Fault Analysis*
+(Chen, Zhang et al., ICDE 2023).
+
+The paper pre-trains TeleBERT on telecom corpora (stage 1) and re-trains it
+into KTeleBERT with prompt-unified modalities, an adaptive numeric encoder,
+and a knowledge-embedding objective (stage 2), then applies the service
+embeddings to root-cause analysis, event association prediction, and fault
+chain tracing.  Everything — the autograd engine, transformer, tokenizer,
+synthetic telecom world, Tele-KG, and the three task models — is implemented
+from scratch in this package (see DESIGN.md for the substitution map).
+
+Quick start::
+
+    from repro import TelecomWorld, build_tele_corpus, pretrain_telebert
+
+    world = TelecomWorld.generate(seed=0)
+    corpus = build_tele_corpus(world)
+    telebert = pretrain_telebert(corpus.sentences, steps=100)
+    vectors = telebert.encode_sentences(["The NF destination service is "
+                                         "unreachable"])
+
+Subpackages: ``tensor`` (autograd), ``nn`` (layers/optim/losses),
+``tokenization``, ``world`` (synthetic telecom universe), ``corpus``, ``kg``
+(Tele-KG), ``prompts``, ``numeric`` (ANEnc), ``models`` (TeleBERT /
+KTeleBERT), ``training``, ``kge``, ``service``, ``tasks`` (rca/eap/fct),
+``evaluation``, ``experiments`` (table/figure harnesses).
+"""
+
+__version__ = "1.0.0"
+
+from repro.world import TelecomWorld
+from repro.corpus import build_tele_corpus, generate_generic_corpus
+from repro.kg import TeleKG, build_tele_kg
+from repro.models import (
+    KTeleBert,
+    KTeleBertConfig,
+    TeleBertTrainer,
+    pretrain_telebert,
+)
+from repro.service import (
+    KTeleBertProvider,
+    PlmProvider,
+    RandomProvider,
+    WordEmbeddingProvider,
+)
+from repro.experiments import ExperimentPipeline, PipelineConfig
+
+__all__ = [
+    "ExperimentPipeline",
+    "KTeleBert",
+    "KTeleBertConfig",
+    "KTeleBertProvider",
+    "PipelineConfig",
+    "PlmProvider",
+    "RandomProvider",
+    "TeleBertTrainer",
+    "TeleKG",
+    "TelecomWorld",
+    "WordEmbeddingProvider",
+    "__version__",
+    "build_tele_corpus",
+    "build_tele_kg",
+    "generate_generic_corpus",
+    "pretrain_telebert",
+]

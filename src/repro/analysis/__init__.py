@@ -1,0 +1,26 @@
+"""Embedding-space diagnostics and terminal plotting.
+
+Used by the ablation benches and the inspection examples to quantify what
+pre-training bought: theme separation, anisotropy (representation collapse),
+nearest neighbours, and value-order correlation; plus matplotlib-free ASCII
+scatter/histogram rendering for the Fig. 10 projections.
+"""
+
+from repro.analysis.embeddings import (
+    anisotropy,
+    nearest_neighbors,
+    silhouette_score,
+    theme_separation,
+    value_order_correlation,
+)
+from repro.analysis.ascii_plot import ascii_histogram, ascii_scatter
+
+__all__ = [
+    "anisotropy",
+    "ascii_histogram",
+    "ascii_scatter",
+    "nearest_neighbors",
+    "silhouette_score",
+    "theme_separation",
+    "value_order_correlation",
+]

@@ -1,0 +1,68 @@
+"""Matplotlib-free terminal plotting for projections and histograms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Density ramp used to colour scatter points by value (light → dark).
+_RAMP = ".:-=+*#%@"
+
+
+def ascii_scatter(x: np.ndarray, y: np.ndarray,
+                  values: np.ndarray | None = None,
+                  width: int = 60, height: int = 20,
+                  title: str | None = None) -> str:
+    """Render a scatter plot; ``values`` in [0, 1] pick the glyph shade.
+
+    This is how the repository renders the Fig. 10 projections (the paper
+    colours points by value; we shade them).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be equal-length 1-D arrays")
+    if len(x) == 0:
+        raise ValueError("nothing to plot")
+    if values is None:
+        values = np.full(len(x), 1.0)
+    values = np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
+
+    x_min, x_max = float(x.min()), float(x.max())
+    y_min, y_max = float(y.min()), float(y.max())
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi, vi in zip(x, y, values):
+        col = int((xi - x_min) / x_span * (width - 1))
+        row = height - 1 - int((yi - y_min) / y_span * (height - 1))
+        glyph = _RAMP[int(vi * (len(_RAMP) - 1))]
+        grid[row][col] = glyph
+
+    border = "+" + "-" * width + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(border)
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    lines.append(f"x: [{x_min:.2f}, {x_max:.2f}]  y: [{y_min:.2f}, {y_max:.2f}]"
+                 f"  shade: low {_RAMP[0]} … high {_RAMP[-1]}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(values: np.ndarray, bins: int = 10, width: int = 40,
+                    title: str | None = None) -> str:
+    """Horizontal-bar histogram."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("nothing to plot")
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    counts, edges = np.histogram(values, bins=bins)
+    peak = counts.max() or 1
+    lines = [title] if title else []
+    for count, low, high in zip(counts, edges, edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{low:9.3f}, {high:9.3f}) {bar} {count}")
+    return "\n".join(lines)

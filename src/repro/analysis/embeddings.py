@@ -1,0 +1,123 @@
+"""Quantitative diagnostics over service-embedding matrices."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _unit_rows(vectors: np.ndarray) -> np.ndarray:
+    vectors = np.asarray(vectors, dtype=float)
+    if vectors.ndim != 2:
+        raise ValueError("expected a (N, d) matrix")
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors / np.maximum(norms, 1e-12)
+
+
+def anisotropy(vectors: np.ndarray) -> float:
+    """Mean pairwise cosine similarity — near 1 means collapsed space.
+
+    SimCSE exists to push this down (Sec. III-B: "alleviate the collapse of
+    representation learning").
+    """
+    unit = _unit_rows(vectors)
+    n = len(unit)
+    if n < 2:
+        raise ValueError("need at least 2 vectors")
+    sims = unit @ unit.T
+    upper = np.triu_indices(n, k=1)
+    return float(sims[upper].mean())
+
+
+def theme_separation(vectors: np.ndarray, labels: Sequence[str]) -> float:
+    """Within-label minus cross-label mean cosine similarity.
+
+    The margin the downstream tasks exploit: events of one fault theme should
+    embed closer together than events of different themes.
+    """
+    unit = _unit_rows(vectors)
+    labels = list(labels)
+    if len(labels) != len(unit):
+        raise ValueError("labels must align with vectors")
+    sims = unit @ unit.T
+    same, cross = [], []
+    for i in range(len(unit)):
+        for j in range(i + 1, len(unit)):
+            (same if labels[i] == labels[j] else cross).append(sims[i, j])
+    if not same or not cross:
+        raise ValueError("need both same-label and cross-label pairs")
+    return float(np.mean(same) - np.mean(cross))
+
+
+def silhouette_score(vectors: np.ndarray, labels: Sequence[str]) -> float:
+    """Mean silhouette coefficient under cosine distance.
+
+    ``(b - a) / max(a, b)`` per point, where ``a`` is the mean distance to
+    its own cluster and ``b`` the smallest mean distance to another cluster.
+    """
+    unit = _unit_rows(vectors)
+    labels = np.asarray(list(labels))
+    if len(labels) != len(unit):
+        raise ValueError("labels must align with vectors")
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("need at least 2 clusters")
+    distance = 1.0 - unit @ unit.T
+    scores: list[float] = []
+    for i in range(len(unit)):
+        own = labels == labels[i]
+        own[i] = False
+        if not own.any():
+            continue  # singleton cluster: silhouette undefined
+        a = float(distance[i, own].mean())
+        b = np.inf
+        for other in unique:
+            if other == labels[i]:
+                continue
+            members = labels == other
+            b = min(b, float(distance[i, members].mean()))
+        scores.append((b - a) / max(a, b, 1e-12))
+    if not scores:
+        raise ValueError("all clusters are singletons")
+    return float(np.mean(scores))
+
+
+def nearest_neighbors(vectors: np.ndarray, names: Sequence[str],
+                      query_index: int, k: int = 5) -> list[tuple[str, float]]:
+    """Top-``k`` cosine neighbours of ``names[query_index]``."""
+    unit = _unit_rows(vectors)
+    if not 0 <= query_index < len(unit):
+        raise IndexError("query index out of range")
+    sims = unit @ unit[query_index]
+    order = np.argsort(-sims)
+    out: list[tuple[str, float]] = []
+    for index in order:
+        if index == query_index:
+            continue
+        out.append((names[index], float(sims[index])))
+        if len(out) == k:
+            break
+    return out
+
+
+def value_order_correlation(values: np.ndarray,
+                            embeddings: np.ndarray) -> float:
+    """Spearman correlation between value distance and embedding distance.
+
+    The Fig. 10 metric: high when the embedding space is ordered by the
+    numeric value.
+    """
+    from scipy import stats
+
+    values = np.asarray(values, dtype=float)
+    unit = _unit_rows(embeddings)
+    if len(values) != len(unit):
+        raise ValueError("values must align with embeddings")
+    if len(values) < 3:
+        raise ValueError("need at least 3 points")
+    value_distance = np.abs(values[:, None] - values[None, :])
+    embedding_distance = 1.0 - unit @ unit.T
+    upper = np.triu_indices(len(values), k=1)
+    return float(stats.spearmanr(value_distance[upper],
+                                 embedding_distance[upper]).statistic)

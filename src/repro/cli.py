@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``reproduce``  regenerate one or all paper tables/figures
+               (``--table 4`` or ``--table all``, ``--seeds 0,1``).
+``pretrain``   run the full two-stage pipeline and save a KTeleBERT
+               checkpoint directory.
+``encode``     load a checkpoint and print service embeddings for texts.
+``simulate``   generate a synthetic world + fault episodes and print stats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _parse_seeds(raw: str) -> list[int]:
+    seeds = [int(part) for part in raw.split(",") if part.strip()]
+    if not seeds:
+        raise argparse.ArgumentTypeError("no seeds given")
+    return seeds
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ExperimentPipeline,
+        PipelineConfig,
+        average_tables,
+        format_table,
+        run_fig10,
+        run_table2,
+        run_table3,
+        run_table4,
+        run_table5,
+        run_table6,
+        run_table7,
+        run_table8,
+    )
+
+    single_seed = {"2": run_table2, "3": run_table3, "5": run_table5,
+                   "7": run_table7}
+    multi_seed = {"4": run_table4, "6": run_table6, "8": run_table8}
+    targets = (list(single_seed) + list(multi_seed) + ["fig10"]
+               if args.table == "all" else [args.table])
+
+    pipelines = [ExperimentPipeline(PipelineConfig(seed=s))
+                 for s in args.seeds]
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for target in targets:
+        if target in single_seed:
+            result = single_seed[target](pipelines[0])
+            text = format_table(result)
+        elif target in multi_seed:
+            runs = [multi_seed[target](p) for p in pipelines]
+            text = format_table(average_tables(runs))
+        elif target == "fig10":
+            text = format_table(run_fig10(pipelines[0]).as_table(),
+                                precision=4)
+        else:
+            print(f"unknown table: {target!r}", file=sys.stderr)
+            return 2
+        print(text)
+        print()
+        if out_dir:
+            (out_dir / f"table_{target}.txt").write_text(text + "\n")
+    return 0
+
+
+def _cmd_pretrain(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentPipeline, PipelineConfig
+    from repro.models import save_ktelebert
+
+    config = PipelineConfig(seed=args.seed,
+                            stage1_steps=args.stage1_steps,
+                            stage2_steps=args.stage2_steps)
+    pipeline = ExperimentPipeline(config)
+    model = {"stl": lambda: pipeline.ktelebert_stl,
+             "pmtl": lambda: pipeline.ktelebert_pmtl,
+             "imtl": lambda: pipeline.ktelebert_imtl}[args.strategy]()
+    path = save_ktelebert(model, args.out)
+    print(f"saved KTeleBERT ({args.strategy.upper()}) checkpoint to {path}")
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    from repro.models import load_ktelebert
+
+    model = load_ktelebert(args.checkpoint)
+    texts = args.text or [line.strip() for line in sys.stdin
+                          if line.strip()]
+    if not texts:
+        print("no input texts", file=sys.stderr)
+        return 2
+    vectors = model.encode_texts(texts)
+    for text, vector in zip(texts, vectors):
+        payload = {"text": text, "embedding": [round(v, 6) for v in vector]}
+        print(json.dumps(payload, ensure_ascii=False))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.kg import build_tele_kg
+    from repro.world import TelecomWorld
+
+    world = TelecomWorld.generate(seed=args.seed)
+    episodes = world.simulate_episodes(args.episodes)
+    kg = build_tele_kg(world)
+    chains = [len(e.chain) for e in episodes]
+    stats = {
+        "alarms": len(world.ontology.alarms),
+        "kpis": len(world.ontology.kpis),
+        "network_elements": world.topology.num_nodes,
+        "causal_edges": world.causal_graph.num_edges,
+        "kg": kg.describe(),
+        "episodes": len(episodes),
+        "mean_chain_length": sum(chains) / len(chains),
+        "log_records": sum(len(e.records) for e in episodes),
+    }
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Tele-Knowledge Pre-training for "
+                    "Fault Analysis' (ICDE 2023)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    reproduce = sub.add_parser("reproduce",
+                               help="regenerate paper tables/figures")
+    reproduce.add_argument("--table", default="all",
+                           help="2,3,4,5,6,7,8, fig10, or all")
+    reproduce.add_argument("--seeds", type=_parse_seeds, default=[0],
+                           help="comma-separated seeds for result tables")
+    reproduce.add_argument("--out", default=None,
+                           help="directory to save rendered tables")
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    pretrain = sub.add_parser("pretrain",
+                              help="run both stages, save a checkpoint")
+    pretrain.add_argument("--out", required=True)
+    pretrain.add_argument("--seed", type=int, default=0)
+    pretrain.add_argument("--strategy", choices=("stl", "pmtl", "imtl"),
+                          default="pmtl")
+    pretrain.add_argument("--stage1-steps", type=int, default=300)
+    pretrain.add_argument("--stage2-steps", type=int, default=300)
+    pretrain.set_defaults(func=_cmd_pretrain)
+
+    encode = sub.add_parser("encode",
+                            help="service embeddings from a checkpoint")
+    encode.add_argument("--checkpoint", required=True)
+    encode.add_argument("--text", action="append",
+                        help="repeatable; reads stdin when omitted")
+    encode.set_defaults(func=_cmd_encode)
+
+    simulate = sub.add_parser("simulate",
+                              help="generate a world and print statistics")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--episodes", type=int, default=50)
+    simulate.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Corpora: product documents, Tele-Corpus, generic corpus, causal extraction.
+
+* :mod:`repro.corpus.documents` — product-document generator (Sec. II-A2):
+  event descriptions, fault cases with causal phrasing, handling procedures.
+* :mod:`repro.corpus.telecorpus` — Tele-Corpus assembly with the paper's
+  explicit augmentation (adjacent-sentence splicing, Sec. III-A).
+* :mod:`repro.corpus.generic` — a non-telecom corpus used to pre-train the
+  MacBERT stand-in baseline (a general PLM with no tele knowledge).
+* :mod:`repro.corpus.causal` — causal-sentence extraction rules (Sec. IV-A1):
+  ID stripping, causal-keyword matching, minimum-length constraint.
+"""
+
+from repro.corpus.documents import ProductDocument, generate_product_documents
+from repro.corpus.telecorpus import TeleCorpus, build_tele_corpus
+from repro.corpus.generic import generate_generic_corpus
+from repro.corpus.causal import (
+    CAUSAL_KEYWORDS,
+    extract_causal_sentences,
+    strip_identifiers,
+)
+from repro.corpus.qa import (
+    enrich_corpus_sentences,
+    generate_maintenance_cases,
+    generate_parameter_descriptions,
+    generate_qa_pairs,
+)
+
+__all__ = [
+    "CAUSAL_KEYWORDS",
+    "ProductDocument",
+    "TeleCorpus",
+    "build_tele_corpus",
+    "enrich_corpus_sentences",
+    "extract_causal_sentences",
+    "generate_generic_corpus",
+    "generate_maintenance_cases",
+    "generate_parameter_descriptions",
+    "generate_product_documents",
+    "generate_qa_pairs",
+    "strip_identifiers",
+]

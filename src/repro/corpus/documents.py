@@ -1,0 +1,147 @@
+"""Product-document generator.
+
+Real product documents (Sec. II-A2) contain event descriptions, fault cases,
+and handling procedures written by engineers.  We generate the same document
+sections from the synthetic world; crucially, the *fault case* sections
+verbalise edges of the ground-truth causal graph with causal connectives
+("leads to", "results in", ...), so (a) the causal-sentence extractor has
+something real to find and (b) a model pre-trained on these documents absorbs
+the trigger structure the downstream tasks need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.world.ontology import Alarm, Kpi
+from repro.world.world import TelecomWorld
+
+#: Connectives used when verbalising causal edges; all appear in
+#: :data:`repro.corpus.causal.CAUSAL_KEYWORDS`.
+CAUSAL_CONNECTIVES: tuple[str, ...] = (
+    "leads to", "results in", "causes", "triggers", "affects",
+    "gives rise to", "brings about",
+)
+
+_PROCEDURE_STEPS: tuple[str, ...] = (
+    "check the running status of the {ne} board and record the output",
+    "run the MML query command on the {ne} to collect diagnostic logs",
+    "verify the configuration consistency between the {ne} and its peers",
+    "reset the standby unit of the {ne} during the maintenance window",
+    "confirm with the network operation centre before isolating the {ne}",
+    "observe the related KPI trend for fifteen minutes after recovery",
+)
+
+_DESCRIPTION_TEMPLATES: tuple[str, ...] = (
+    "{name} is reported by the {ne} through the {iface} interface when the "
+    "monitored condition persists beyond the alarm threshold.",
+    "When {name_lower} occurs on the {ne}, subscriber services in the region "
+    "may degrade until the condition is cleared.",
+    "{name} indicates a {severity} severity problem detected on the {iface} "
+    "interface of the {ne}.",
+)
+
+_KPI_TEMPLATES: tuple[str, ...] = (
+    "{name} is measured on the {ne} in {unit} and normally stays between "
+    "{low:.1f} and {high:.1f}.",
+    "Operators monitor {name_lower} as a key quality indicator of the {ne}; "
+    "values outside {low:.1f} to {high:.1f} {unit} require attention.",
+)
+
+
+@dataclass
+class ProductDocument:
+    """One generated product document."""
+
+    title: str
+    product: str
+    sections: dict[str, list[str]] = field(default_factory=dict)
+
+    def sentences(self) -> list[str]:
+        """All sentences in document order."""
+        out: list[str] = []
+        for section_sentences in self.sections.values():
+            out.extend(section_sentences)
+        return out
+
+
+def _describe_alarm(alarm: Alarm, rng: np.random.Generator) -> str:
+    template = _DESCRIPTION_TEMPLATES[int(rng.integers(len(_DESCRIPTION_TEMPLATES)))]
+    return template.format(name=alarm.name, name_lower=alarm.name[0].lower() + alarm.name[1:],
+                           ne=alarm.ne_type, iface=alarm.interface,
+                           severity=alarm.severity)
+
+
+def _describe_kpi(kpi: Kpi, rng: np.random.Generator) -> str:
+    template = _KPI_TEMPLATES[int(rng.integers(len(_KPI_TEMPLATES)))]
+    return template.format(name=kpi.name, name_lower=kpi.name[0].lower() + kpi.name[1:],
+                           ne=kpi.ne_type, unit=kpi.unit,
+                           low=kpi.normal_low, high=kpi.normal_high)
+
+
+def _fault_case_sentence(source, target, connective: str,
+                         with_ids: bool, rng: np.random.Generator) -> str:
+    """Verbalise one causal edge as a fault-case sentence."""
+    if with_ids:
+        src_ref = f"[{'Alm' if source.kind == 'alarm' else 'KPI'}] {source.uid} {source.name}"
+        dst_ref = f"[{'Alm' if target.kind == 'alarm' else 'KPI'}] {target.uid} {target.name}"
+    else:
+        src_ref, dst_ref = source.name, target.name
+    variants = (
+        f"In the recorded fault case, {src_ref} {connective} {dst_ref} on the "
+        f"{target.ne_type} side.",
+        f"Field experience shows that {src_ref} usually {connective} {dst_ref}.",
+        f"{src_ref} {connective} {dst_ref} when the condition is not cleared "
+        f"in time.",
+    )
+    return variants[int(rng.integers(len(variants)))]
+
+
+def generate_product_documents(world: TelecomWorld, seed: int = 0,
+                               cases_per_edge: int = 2,
+                               with_id_probability: float = 0.5) -> list[ProductDocument]:
+    """Generate one product document per NE type present in the catalogs.
+
+    Each document has an event-description section, a KPI reference section, a
+    fault-case section verbalising the causal edges touching the product, and
+    a handling-procedure section.
+    """
+    rng = np.random.default_rng(seed + 77)
+    events = {e.uid: e for e in world.ontology.events}
+    docs: list[ProductDocument] = []
+    ne_types = sorted({e.ne_type for e in world.ontology.events})
+    for ne_type in ne_types:
+        alarms = [a for a in world.ontology.alarms if a.ne_type == ne_type]
+        kpis = [k for k in world.ontology.kpis if k.ne_type == ne_type]
+        descriptions = [_describe_alarm(a, rng) for a in alarms]
+        kpi_refs = [_describe_kpi(k, rng) for k in kpis]
+
+        cases: list[str] = []
+        local_uids = {e.uid for e in alarms} | {k.uid for k in kpis}
+        for edge in world.causal_graph.edges:
+            if edge.source not in local_uids and edge.target not in local_uids:
+                continue
+            for _ in range(cases_per_edge):
+                connective = CAUSAL_CONNECTIVES[int(rng.integers(len(CAUSAL_CONNECTIVES)))]
+                with_ids = rng.random() < with_id_probability
+                cases.append(_fault_case_sentence(
+                    events[edge.source], events[edge.target], connective,
+                    with_ids, rng))
+
+        procedures = []
+        for _ in range(min(4, max(1, len(alarms)))):
+            step = _PROCEDURE_STEPS[int(rng.integers(len(_PROCEDURE_STEPS)))]
+            procedures.append("To handle the fault, " + step.format(ne=ne_type) + ".")
+
+        docs.append(ProductDocument(
+            title=f"{ne_type} Product Fault Handling Guide",
+            product=ne_type,
+            sections={
+                "event_descriptions": descriptions,
+                "kpi_reference": kpi_refs,
+                "fault_cases": cases,
+                "handling_procedures": procedures,
+            }))
+    return docs

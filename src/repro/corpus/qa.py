@@ -1,0 +1,98 @@
+"""Tele question-answering and maintenance-case corpus generators.
+
+The paper's Tele-Corpus "involves multiple aspects of the tele-domain data,
+including tele question answering, software parameter description, daily
+maintenance cases" (Sec. V-A1).  The base document generator covers event
+descriptions and fault cases; this module adds the remaining named source
+types so the assembled corpus has the same compositional structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.world.configuration import PARAMETER_CATALOG
+from repro.world.world import TelecomWorld
+
+_QA_TEMPLATES: tuple[tuple[str, str], ...] = (
+    ("What does it mean when {name_lower} is reported on the {ne}?",
+     "It indicates a {severity} severity condition detected through the "
+     "{iface} interface, and the related KPI trend should be checked."),
+    ("How should the on-duty engineer respond to {name_lower}?",
+     "Collect the diagnostic logs of the {ne} first, then follow the "
+     "handling procedure in the {ne} product fault guide."),
+    ("Can {name_lower} clear by itself?",
+     "Transient conditions such as congestion may recover automatically, "
+     "but a persistent report on the {ne} requires manual intervention."),
+)
+
+_PARAM_TEMPLATES: tuple[str, ...] = (
+    "The software parameter {param} controls the behaviour of the network "
+    "element and accepts values in its engineering range.",
+    "Changing {param} requires a configuration audit because inconsistent "
+    "entries between peers lead to service degradation.",
+    "The recommended value of {param} depends on the deployment scale and "
+    "the licensed capacity of the site.",
+)
+
+_CASE_TEMPLATES: tuple[str, ...] = (
+    "During daily maintenance at {location}, the engineer observed "
+    "{name_lower} and restored the service by switching to the standby "
+    "unit.",
+    "A customer complaint at {location} was traced back to {name_lower}; "
+    "after the correction the related KPI returned to its normal range.",
+    "The night shift at {location} recorded {name_lower} twice; the case "
+    "was closed after a software patch was applied.",
+)
+
+
+def generate_qa_pairs(world: TelecomWorld, seed: int = 0,
+                      pairs_per_alarm: int = 1) -> list[str]:
+    """Question/answer sentences about catalog alarms."""
+    rng = np.random.default_rng(seed + 301)
+    sentences: list[str] = []
+    for alarm in world.ontology.alarms:
+        for _ in range(pairs_per_alarm):
+            question, answer = _QA_TEMPLATES[int(rng.integers(len(_QA_TEMPLATES)))]
+            context = dict(
+                name_lower=alarm.name[0].lower() + alarm.name[1:],
+                ne=alarm.ne_type, iface=alarm.interface,
+                severity=alarm.severity)
+            sentences.append(question.format(**context))
+            sentences.append(answer.format(**context))
+    return sentences
+
+
+def generate_parameter_descriptions(seed: int = 0,
+                                    per_parameter: int = 2) -> list[str]:
+    """Software parameter description sentences."""
+    rng = np.random.default_rng(seed + 302)
+    sentences: list[str] = []
+    for parameter in PARAMETER_CATALOG:
+        for _ in range(per_parameter):
+            template = _PARAM_TEMPLATES[int(rng.integers(len(_PARAM_TEMPLATES)))]
+            sentences.append(template.format(param=parameter))
+    return sentences
+
+
+def generate_maintenance_cases(world: TelecomWorld, seed: int = 0,
+                               cases_per_alarm: int = 1) -> list[str]:
+    """Daily maintenance case sentences grounded in catalog alarms."""
+    from repro.world.ontology import LOCATIONS
+
+    rng = np.random.default_rng(seed + 303)
+    sentences: list[str] = []
+    for alarm in world.ontology.alarms:
+        for _ in range(cases_per_alarm):
+            template = _CASE_TEMPLATES[int(rng.integers(len(_CASE_TEMPLATES)))]
+            sentences.append(template.format(
+                name_lower=alarm.name[0].lower() + alarm.name[1:],
+                location=LOCATIONS[int(rng.integers(len(LOCATIONS)))]))
+    return sentences
+
+
+def enrich_corpus_sentences(world: TelecomWorld, seed: int = 0) -> list[str]:
+    """All extra corpus sentences: QA + parameter descriptions + cases."""
+    return (generate_qa_pairs(world, seed)
+            + generate_parameter_descriptions(seed)
+            + generate_maintenance_cases(world, seed))

@@ -1,0 +1,97 @@
+"""Tele-Corpus assembly (Sec. III-A).
+
+The paper constitutes 20.33M sentences from product documents and KG entity
+surfaces, applying *explicit* augmentation — splicing ranges of adjacent
+sentences from the same document — before pre-training (the *implicit*
+SimCSE dropout augmentation lives in the model, Sec. III-B).  This module
+reproduces the assembly at our scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.documents import ProductDocument, generate_product_documents
+from repro.world.world import TelecomWorld
+
+
+@dataclass
+class TeleCorpus:
+    """The assembled pre-training corpus."""
+
+    sentences: list[str]
+    #: sentences originating from document text (before augmentation)
+    document_sentences: list[str] = field(default_factory=list)
+    #: entity surface strings contributed by the KG side
+    entity_surfaces: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sentences)
+
+    def sample(self, count: int, rng: np.random.Generator) -> list[str]:
+        """Uniformly sample ``count`` sentences (with replacement if needed)."""
+        if count <= len(self.sentences):
+            idx = rng.choice(len(self.sentences), size=count, replace=False)
+        else:
+            idx = rng.integers(0, len(self.sentences), size=count)
+        return [self.sentences[i] for i in idx]
+
+
+def splice_adjacent(sentences: list[str], rng: np.random.Generator,
+                    num_splices: int, max_span: int = 3) -> list[str]:
+    """Explicit augmentation: join spans of adjacent sentences.
+
+    Each splice takes 2..max_span consecutive sentences from the list and
+    joins them into one longer training sentence, expanding the dataset the
+    way the paper splices adjacent paragraphs.
+    """
+    if len(sentences) < 2 or num_splices <= 0:
+        return []
+    spliced: list[str] = []
+    for _ in range(num_splices):
+        span = int(rng.integers(2, max_span + 1))
+        start = int(rng.integers(0, max(len(sentences) - span, 1)))
+        spliced.append(" ".join(sentences[start:start + span]))
+    return spliced
+
+
+def build_tele_corpus(world: TelecomWorld, seed: int = 0,
+                      augmentation_factor: float = 0.5,
+                      documents: list[ProductDocument] | None = None,
+                      include_qa_and_cases: bool = True) -> TeleCorpus:
+    """Assemble the Tele-Corpus from documents + KG entity surfaces.
+
+    ``augmentation_factor`` controls how many spliced sentences are added
+    relative to the base document sentence count.
+    ``include_qa_and_cases`` adds the paper's other named corpus sources —
+    tele QA pairs, software parameter descriptions, and daily maintenance
+    cases (Sec. V-A1).
+    """
+    rng = np.random.default_rng(seed + 13)
+    documents = documents if documents is not None else \
+        generate_product_documents(world, seed=seed)
+
+    document_sentences: list[str] = []
+    for doc in documents:
+        document_sentences.extend(doc.sentences())
+    if include_qa_and_cases:
+        from repro.corpus.qa import enrich_corpus_sentences
+
+        document_sentences.extend(enrich_corpus_sentences(world, seed=seed))
+
+    entity_surfaces = [e.name for e in world.ontology.events]
+    entity_surfaces += [f"{ne} network element" for ne in world.ontology.ne_types]
+
+    spliced: list[str] = []
+    for doc in documents:
+        doc_sents = doc.sentences()
+        count = int(len(doc_sents) * augmentation_factor)
+        spliced.extend(splice_adjacent(doc_sents, rng, count))
+
+    sentences = document_sentences + entity_surfaces + spliced
+    rng.shuffle(sentences)
+    return TeleCorpus(sentences=sentences,
+                      document_sentences=document_sentences,
+                      entity_surfaces=entity_surfaces)

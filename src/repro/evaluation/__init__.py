@@ -1,0 +1,43 @@
+"""Evaluation utilities: ranking metrics, classification metrics, k-fold CV."""
+
+from repro.evaluation.ranking import (
+    RankingMetrics,
+    hits_at_k,
+    mean_rank,
+    mean_reciprocal_rank,
+    rank_of,
+    ranking_metrics,
+)
+from repro.evaluation.classification import (
+    ClassificationMetrics,
+    classification_metrics,
+)
+from repro.evaluation.kfold import k_fold_splits
+from repro.evaluation.bootstrap import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    rank_metric_cis,
+)
+from repro.evaluation.significance import (
+    PairedComparison,
+    compare_rank_lists,
+    paired_permutation_test,
+)
+
+__all__ = [
+    "ClassificationMetrics",
+    "ConfidenceInterval",
+    "PairedComparison",
+    "bootstrap_ci",
+    "compare_rank_lists",
+    "paired_permutation_test",
+    "rank_metric_cis",
+    "RankingMetrics",
+    "classification_metrics",
+    "hits_at_k",
+    "k_fold_splits",
+    "mean_rank",
+    "mean_reciprocal_rank",
+    "rank_of",
+    "ranking_metrics",
+]

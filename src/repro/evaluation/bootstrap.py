@@ -1,0 +1,72 @@
+"""Bootstrap confidence intervals for evaluation metrics.
+
+The paper reports point estimates; at our much smaller scale the sampling
+error is material, so the harnesses can attach percentile-bootstrap CIs to
+any per-sample metric (ranks, correct/incorrect indicators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (f"{self.estimate:.3f} "
+                f"[{self.low:.3f}, {self.high:.3f}] "
+                f"@{self.confidence:.0%}")
+
+
+def bootstrap_ci(samples: Sequence[float],
+                 statistic: Callable[[np.ndarray], float] = np.mean,
+                 confidence: float = 0.95, num_resamples: int = 2000,
+                 rng: np.random.Generator | None = None) -> ConfidenceInterval:
+    """Percentile bootstrap CI of ``statistic`` over ``samples``."""
+    samples = np.asarray(list(samples), dtype=float)
+    if samples.size == 0:
+        raise ValueError("no samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    estimates = np.empty(num_resamples)
+    n = len(samples)
+    for i in range(num_resamples):
+        resample = samples[rng.integers(0, n, size=n)]
+        estimates[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        estimate=float(statistic(samples)),
+        low=float(np.quantile(estimates, alpha)),
+        high=float(np.quantile(estimates, 1.0 - alpha)),
+        confidence=confidence)
+
+
+def rank_metric_cis(ranks: Sequence[int], hit_levels: Sequence[int] = (1, 3),
+                    confidence: float = 0.95,
+                    rng: np.random.Generator | None = None
+                    ) -> dict[str, ConfidenceInterval]:
+    """CIs for MR, MRR and Hits@{levels} from a rank sample."""
+    ranks = np.asarray(list(ranks), dtype=float)
+    out = {
+        "MR": bootstrap_ci(ranks, np.mean, confidence, rng=rng),
+        "MRR": bootstrap_ci(1.0 / ranks, np.mean, confidence, rng=rng),
+    }
+    for level in hit_levels:
+        hits = (ranks <= level).astype(float)
+        out[f"Hits@{level}"] = bootstrap_ci(hits, np.mean, confidence,
+                                            rng=rng)
+    return out

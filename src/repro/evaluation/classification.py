@@ -1,0 +1,49 @@
+"""Binary classification metrics: Accuracy / Precision / Recall / F1 (Table VI)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ClassificationMetrics:
+    """The four metrics of the EAP evaluation."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+
+    def as_row(self) -> list[float]:
+        return [self.accuracy, self.precision, self.recall, self.f1]
+
+
+def classification_metrics(predictions: np.ndarray,
+                           labels: np.ndarray) -> ClassificationMetrics:
+    """Compute binary metrics; the positive class is 1.
+
+    Degenerate denominators yield 0.0 for the affected metric rather than an
+    exception (matches common evaluation toolkits).
+    """
+    predictions = np.asarray(predictions).astype(int)
+    labels = np.asarray(labels).astype(int)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must align")
+    if predictions.size == 0:
+        raise ValueError("empty evaluation set")
+
+    true_positive = int(((predictions == 1) & (labels == 1)).sum())
+    false_positive = int(((predictions == 1) & (labels == 0)).sum())
+    false_negative = int(((predictions == 0) & (labels == 1)).sum())
+
+    accuracy = float((predictions == labels).mean())
+    precision = (true_positive / (true_positive + false_positive)
+                 if true_positive + false_positive else 0.0)
+    recall = (true_positive / (true_positive + false_negative)
+              if true_positive + false_negative else 0.0)
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return ClassificationMetrics(accuracy=accuracy, precision=precision,
+                                 recall=recall, f1=f1)

@@ -1,0 +1,41 @@
+"""K-fold cross-validation splitter (RCA/EAP protocol, Sec. V-B3).
+
+The paper splits into 5 folds, takes 1 fold as test, the *next* fold as
+validation, and the rest as training, then averages over all rotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FoldSplit:
+    """Index sets of one rotation."""
+
+    train: np.ndarray
+    valid: np.ndarray
+    test: np.ndarray
+
+
+def k_fold_splits(num_items: int, num_folds: int = 5,
+                  rng: np.random.Generator | None = None) -> list[FoldSplit]:
+    """All ``num_folds`` rotations of the paper's test/valid/train protocol."""
+    if num_folds < 3:
+        raise ValueError("need at least 3 folds for train/valid/test")
+    if num_items < num_folds:
+        raise ValueError("fewer items than folds")
+    order = np.arange(num_items)
+    if rng is not None:
+        rng.shuffle(order)
+    folds = np.array_split(order, num_folds)
+    splits: list[FoldSplit] = []
+    for i in range(num_folds):
+        test = folds[i]
+        valid = folds[(i + 1) % num_folds]
+        train = np.concatenate([folds[j] for j in range(num_folds)
+                                if j != i and j != (i + 1) % num_folds])
+        splits.append(FoldSplit(train=train, valid=valid, test=test))
+    return splits

@@ -1,0 +1,73 @@
+"""Ranking metrics: MR, MRR, Hits@N — the protocol of Tables IV and VIII."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def rank_of(scores: np.ndarray, true_index: int,
+            higher_is_better: bool = True) -> int:
+    """1-based rank of ``true_index`` under ``scores``.
+
+    Ties are resolved pessimistically-fairly: the rank counts strictly better
+    scores plus half the ties (rounded up), the standard protocol that stops
+    constant scores from getting rank 1.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if not 0 <= true_index < len(scores):
+        raise IndexError("true_index outside scores")
+    target = scores[true_index]
+    if higher_is_better:
+        better = int((scores > target).sum())
+        ties = int((scores == target).sum()) - 1
+    else:
+        better = int((scores < target).sum())
+        ties = int((scores == target).sum()) - 1
+    return better + ties // 2 + 1
+
+
+def mean_rank(ranks: Sequence[int]) -> float:
+    """MR: average of 1-based ranks (lower is better)."""
+    if len(ranks) == 0:
+        raise ValueError("empty rank list")
+    return float(np.mean(ranks))
+
+
+def mean_reciprocal_rank(ranks: Sequence[int]) -> float:
+    """MRR: average of 1/rank (higher is better)."""
+    if len(ranks) == 0:
+        raise ValueError("empty rank list")
+    return float(np.mean([1.0 / r for r in ranks]))
+
+
+def hits_at_k(ranks: Sequence[int], k: int) -> float:
+    """Fraction of ranks ≤ k."""
+    if len(ranks) == 0:
+        raise ValueError("empty rank list")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return float(np.mean([1.0 if r <= k else 0.0 for r in ranks]))
+
+
+@dataclass
+class RankingMetrics:
+    """Bundle of the ranking metrics the paper reports."""
+
+    mean_rank: float
+    mrr: float
+    hits: dict[int, float]
+
+    def as_row(self, hit_levels: Sequence[int]) -> list[float]:
+        return [self.mean_rank, self.mrr] + [self.hits[k] for k in hit_levels]
+
+
+def ranking_metrics(ranks: Sequence[int],
+                    hit_levels: Sequence[int] = (1, 3, 10)) -> RankingMetrics:
+    """Compute MR, MRR and Hits@{levels} in one call."""
+    return RankingMetrics(
+        mean_rank=mean_rank(ranks),
+        mrr=mean_reciprocal_rank(ranks),
+        hits={k: hits_at_k(ranks, k) for k in hit_levels})

@@ -1,0 +1,64 @@
+"""Paired permutation significance test for method comparisons.
+
+When two methods are evaluated on the same items (the same test states,
+pairs, or masked hops), their per-item scores are paired; the sign-flip
+permutation test asks how often a difference at least as large would arise
+if the pairing carried no information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired permutation test."""
+
+    mean_difference: float   # mean(a) - mean(b)
+    p_value: float
+    num_items: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def paired_permutation_test(scores_a: Sequence[float],
+                            scores_b: Sequence[float],
+                            num_permutations: int = 5000,
+                            rng: np.random.Generator | None = None
+                            ) -> PairedComparison:
+    """Two-sided sign-flip permutation test on paired per-item scores."""
+    a = np.asarray(list(scores_a), dtype=float)
+    b = np.asarray(list(scores_b), dtype=float)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ValueError("scores must be equal-length nonempty 1-D sequences")
+    rng = rng or np.random.default_rng(0)
+    differences = a - b
+    observed = abs(differences.mean())
+    if np.allclose(differences, 0.0):
+        return PairedComparison(mean_difference=0.0, p_value=1.0,
+                                num_items=len(a))
+    hits = 0
+    for _ in range(num_permutations):
+        signs = rng.choice([-1.0, 1.0], size=len(differences))
+        if abs((differences * signs).mean()) >= observed - 1e-15:
+            hits += 1
+    return PairedComparison(mean_difference=float(differences.mean()),
+                            p_value=(hits + 1) / (num_permutations + 1),
+                            num_items=len(a))
+
+
+def compare_rank_lists(ranks_a: Sequence[int], ranks_b: Sequence[int],
+                       num_permutations: int = 5000,
+                       rng: np.random.Generator | None = None
+                       ) -> PairedComparison:
+    """Paired test on reciprocal ranks (higher is better for method A when
+    ``mean_difference`` is positive)."""
+    rr_a = [1.0 / r for r in ranks_a]
+    rr_b = [1.0 / r for r in ranks_b]
+    return paired_permutation_test(rr_a, rr_b,
+                                   num_permutations=num_permutations, rng=rng)

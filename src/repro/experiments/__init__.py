@@ -1,0 +1,38 @@
+"""Experiment reproduction harnesses: one entry point per paper table/figure.
+
+:class:`ExperimentPipeline` builds the whole stack once (world → corpora →
+Tele-KG → TeleBERT → KTeleBERT variants → providers); the ``run_table*`` /
+``run_fig10`` functions in :mod:`repro.experiments.tables` regenerate each
+table and figure of the evaluation section, printing paper-vs-measured rows.
+"""
+
+from repro.experiments.pipeline import ExperimentPipeline, PipelineConfig
+from repro.experiments.report import generate_report
+from repro.experiments.tables import (
+    average_tables,
+    format_table,
+    run_fig10,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+)
+
+__all__ = [
+    "ExperimentPipeline",
+    "PipelineConfig",
+    "average_tables",
+    "format_table",
+    "generate_report",
+    "run_fig10",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+]

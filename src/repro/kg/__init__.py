@@ -1,0 +1,42 @@
+"""Tele-product Knowledge Graph (Tele-KG) substrate (Sec. II-A3, Fig. 2).
+
+* :mod:`repro.kg.schema` — the hierarchical tele-schema: ``Event`` and
+  ``Resource`` root superclasses, concept inheritance via ``subclassOf``.
+* :mod:`repro.kg.graph` — the triple store: typed entities, relation triples,
+  attribute triples (string or numeric values).
+* :mod:`repro.kg.builder` — constructs the Tele-KG from a
+  :class:`~repro.world.TelecomWorld` (trigger relations from the causal
+  ground truth, topology relations, attributes from the catalogs).
+* :mod:`repro.kg.query` — a small SPARQL-style basic-graph-pattern engine
+  (experts query Tele-KG with SPARQL in the paper's workflow).
+* :mod:`repro.kg.serialize` — triple→sentence serialisation through the
+  prompt templates (implicit knowledge injection, Sec. IV-A1).
+* :mod:`repro.kg.sampling` — negative sampling for the KE objective.
+"""
+
+from repro.kg.schema import TeleSchema
+from repro.kg.graph import AttributeTriple, Entity, TeleKG, Triple
+from repro.kg.builder import build_tele_kg
+from repro.kg.query import Pattern, Variable, query
+from repro.kg.serialize import serialize_attribute_triple, serialize_kg, serialize_triple
+from repro.kg.sampling import NegativeSampler
+from repro.kg.io import export_json, export_ntriples, import_json
+
+__all__ = [
+    "AttributeTriple",
+    "Entity",
+    "NegativeSampler",
+    "Pattern",
+    "TeleKG",
+    "TeleSchema",
+    "Triple",
+    "Variable",
+    "build_tele_kg",
+    "export_json",
+    "export_ntriples",
+    "import_json",
+    "query",
+    "serialize_attribute_triple",
+    "serialize_kg",
+    "serialize_triple",
+]

@@ -1,0 +1,178 @@
+"""The Tele-KG triple store.
+
+Entities are typed against the :class:`~repro.kg.schema.TeleSchema`; facts
+are relation triples between entities, plus attribute triples carrying string
+or numeric literals (numeric attribute values feed the ANEnc during
+re-training, Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.kg.schema import TeleSchema
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A KG entity: stable id, human surface, schema class."""
+
+    uid: str
+    surface: str
+    cls: str
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A relational fact ``(head, relation, tail)`` over entity uids."""
+
+    head: str
+    relation: str
+    tail: str
+
+
+@dataclass(frozen=True)
+class AttributeTriple:
+    """An attribute fact ``(entity, attribute, literal value)``."""
+
+    entity: str
+    attribute: str
+    value: object
+
+    @property
+    def is_numeric(self) -> bool:
+        return isinstance(self.value, (int, float)) and not isinstance(self.value, bool)
+
+
+class TeleKG:
+    """In-memory Tele-KG with typed entities and indexed triples."""
+
+    def __init__(self, schema: TeleSchema | None = None):
+        self.schema = schema or TeleSchema()
+        self._entities: dict[str, Entity] = {}
+        self._triples: list[Triple] = []
+        self._triple_set: set[Triple] = set()
+        self._attributes: list[AttributeTriple] = []
+        self._by_head: dict[str, list[Triple]] = {}
+        self._by_tail: dict[str, list[Triple]] = {}
+        self._by_relation: dict[str, list[Triple]] = {}
+        self._attrs_by_entity: dict[str, list[AttributeTriple]] = {}
+
+    # ------------------------------------------------------------------
+    # Entities
+    # ------------------------------------------------------------------
+    def add_entity(self, uid: str, surface: str, cls: str) -> Entity:
+        """Register an entity; idempotent for identical re-registration."""
+        if cls not in self.schema.classes:
+            raise ValueError(f"unknown schema class: {cls}")
+        if uid in self._entities:
+            existing = self._entities[uid]
+            if existing.surface != surface or existing.cls != cls:
+                raise ValueError(f"entity {uid} already registered differently")
+            return existing
+        entity = Entity(uid=uid, surface=surface, cls=cls)
+        self._entities[uid] = entity
+        return entity
+
+    def entity(self, uid: str) -> Entity:
+        return self._entities[uid]
+
+    def has_entity(self, uid: str) -> bool:
+        return uid in self._entities
+
+    def entities(self, cls: str | None = None) -> list[Entity]:
+        """All entities, optionally restricted to a class (incl. subclasses)."""
+        if cls is None:
+            return list(self._entities.values())
+        return [e for e in self._entities.values()
+                if self.schema.is_subclass(e.cls, cls)]
+
+    def entity_by_surface(self, surface: str) -> Entity | None:
+        """Exact-surface entity lookup (the paper's entity-mapping service)."""
+        for entity in self._entities.values():
+            if entity.surface == surface:
+                return entity
+        return None
+
+    # ------------------------------------------------------------------
+    # Triples
+    # ------------------------------------------------------------------
+    def add_triple(self, head: str, relation: str, tail: str) -> Triple:
+        """Add a relational fact; both ends must be registered entities."""
+        for uid in (head, tail):
+            if uid not in self._entities:
+                raise KeyError(f"unknown entity: {uid}")
+        triple = Triple(head, relation, tail)
+        if triple in self._triple_set:
+            return triple
+        self._triple_set.add(triple)
+        self._triples.append(triple)
+        self._by_head.setdefault(head, []).append(triple)
+        self._by_tail.setdefault(tail, []).append(triple)
+        self._by_relation.setdefault(relation, []).append(triple)
+        return triple
+
+    def add_attribute(self, entity: str, attribute: str, value) -> AttributeTriple:
+        """Add an attribute fact on a registered entity."""
+        if entity not in self._entities:
+            raise KeyError(f"unknown entity: {entity}")
+        fact = AttributeTriple(entity, attribute, value)
+        self._attributes.append(fact)
+        self._attrs_by_entity.setdefault(entity, []).append(fact)
+        return fact
+
+    @property
+    def triples(self) -> list[Triple]:
+        return list(self._triples)
+
+    @property
+    def attributes(self) -> list[AttributeTriple]:
+        return list(self._attributes)
+
+    def has_triple(self, head: str, relation: str, tail: str) -> bool:
+        return Triple(head, relation, tail) in self._triple_set
+
+    def triples_from(self, head: str) -> list[Triple]:
+        return list(self._by_head.get(head, []))
+
+    def triples_to(self, tail: str) -> list[Triple]:
+        return list(self._by_tail.get(tail, []))
+
+    def triples_with_relation(self, relation: str) -> list[Triple]:
+        return list(self._by_relation.get(relation, []))
+
+    def attributes_of(self, entity: str) -> list[AttributeTriple]:
+        return list(self._attrs_by_entity.get(entity, []))
+
+    def neighbors(self, uid: str) -> set[str]:
+        """Entity uids one hop away (either direction)."""
+        out = {t.tail for t in self._by_head.get(uid, [])}
+        out |= {t.head for t in self._by_tail.get(uid, [])}
+        return out
+
+    @property
+    def relations(self) -> list[str]:
+        return sorted(self._by_relation)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @property
+    def num_entities(self) -> int:
+        return len(self._entities)
+
+    @property
+    def num_triples(self) -> int:
+        return len(self._triples)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self._attributes)
+
+    def describe(self) -> dict[str, int]:
+        """Summary statistics used by the experiment harnesses."""
+        return {
+            "entities": self.num_entities,
+            "relations": len(self._by_relation),
+            "triples": self.num_triples,
+            "attributes": self.num_attributes,
+        }

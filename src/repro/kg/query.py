@@ -1,0 +1,116 @@
+"""A small SPARQL-style basic-graph-pattern query engine.
+
+The paper's experts retrieve background knowledge from Tele-KG with SPARQL
+queries.  This module supports the conjunctive core of SPARQL: a list of
+triple patterns with shared variables, evaluated by backtracking join; enough
+to express queries like *"which KPIs are triggered by alarms occurring on the
+SMF"*:
+
+>>> from repro.kg import Pattern, Variable, query
+>>> a, k = Variable("a"), Variable("k")
+>>> rows = query(kg, [Pattern(a, "occursOn", "NET-SMF"),
+...                   Pattern(a, "trigger", k)])            # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.kg.graph import TeleKG, Triple
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable; equality is by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = "Variable | str"
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One triple pattern: each slot is an entity uid / relation or a Variable."""
+
+    head: object
+    relation: object
+    tail: object
+
+
+def _candidate_triples(kg: TeleKG, pattern: Pattern,
+                       binding: dict[str, str]) -> Iterable[Triple]:
+    """Pick the most selective index for a pattern under current bindings."""
+    head = _resolve(pattern.head, binding)
+    relation = _resolve(pattern.relation, binding)
+    tail = _resolve(pattern.tail, binding)
+    if isinstance(head, str):
+        return kg.triples_from(head)
+    if isinstance(tail, str):
+        return kg.triples_to(tail)
+    if isinstance(relation, str):
+        return kg.triples_with_relation(relation)
+    return kg.triples
+
+
+def _resolve(term, binding: dict[str, str]):
+    if isinstance(term, Variable):
+        return binding.get(term.name, term)
+    return term
+
+
+def _match(pattern: Pattern, triple: Triple,
+           binding: dict[str, str]) -> dict[str, str] | None:
+    """Try to extend ``binding`` so ``pattern`` matches ``triple``."""
+    new = dict(binding)
+    for term, value in ((pattern.head, triple.head),
+                        (pattern.relation, triple.relation),
+                        (pattern.tail, triple.tail)):
+        term = _resolve(term, new)
+        if isinstance(term, Variable):
+            new[term.name] = value
+        elif term != value:
+            return None
+    return new
+
+
+def query(kg: TeleKG, patterns: Sequence[Pattern],
+          limit: int | None = None,
+          where=None) -> list[dict[str, str]]:
+    """Evaluate a basic graph pattern; returns variable bindings.
+
+    Patterns are joined left-to-right with backtracking; each result is a
+    dict mapping variable names to entity uids / relation names.  ``where``
+    is an optional predicate over complete bindings (the FILTER clause of
+    SPARQL's conjunctive core).
+    """
+    if not patterns:
+        return []
+    results: list[dict[str, str]] = []
+
+    def backtrack(index: int, binding: dict[str, str]) -> bool:
+        """Returns True when the result limit has been reached."""
+        if index == len(patterns):
+            if where is not None and not where(binding):
+                return False
+            results.append(binding)
+            return limit is not None and len(results) >= limit
+        pattern = patterns[index]
+        for triple in _candidate_triples(kg, pattern, binding):
+            extended = _match(pattern, triple, binding)
+            if extended is not None:
+                if backtrack(index + 1, extended):
+                    return True
+        return False
+
+    backtrack(0, {})
+    return results
+
+
+def ask(kg: TeleKG, patterns: Sequence[Pattern]) -> bool:
+    """SPARQL ASK: does at least one binding satisfy the pattern?"""
+    return bool(query(kg, patterns, limit=1))

@@ -1,0 +1,98 @@
+"""Hierarchical tele-schema (Sec. II-A3).
+
+Two root superclasses, ``Event`` and ``Resource``, anchor the concept
+hierarchy; concept classes inherit across levels via ``subclassOf`` (top-down
+modelling).  The schema validates entity typing during KG construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default class hierarchy: child -> parent.
+DEFAULT_HIERARCHY: dict[str, str | None] = {
+    "Event": None,
+    "Resource": None,
+    "Alarm": "Event",
+    "KPIAnomaly": "Event",
+    "KPI": "KPIAnomaly",
+    "NetworkElement": "Resource",
+    "NetworkElementType": "NetworkElement",
+    "NetworkElementInstance": "NetworkElement",
+    "Interface": "Resource",
+    "Board": "Resource",
+    "License": "Resource",
+    "Location": "Resource",
+    "Vendor": "Resource",
+    "Document": "Resource",
+}
+
+
+@dataclass
+class TeleSchema:
+    """Concept hierarchy with ``subclassOf`` reasoning."""
+
+    parents: dict[str, str | None] = field(
+        default_factory=lambda: dict(DEFAULT_HIERARCHY))
+
+    def __post_init__(self):
+        for child, parent in self.parents.items():
+            if parent is not None and parent not in self.parents:
+                raise ValueError(f"class {child} has unknown parent {parent}")
+        if self._has_cycle():
+            raise ValueError("schema hierarchy contains a cycle")
+
+    def _has_cycle(self) -> bool:
+        for start in self.parents:
+            seen = set()
+            node: str | None = start
+            while node is not None:
+                if node in seen:
+                    return True
+                seen.add(node)
+                node = self.parents.get(node)
+        return False
+
+    @property
+    def classes(self) -> set[str]:
+        return set(self.parents)
+
+    @property
+    def roots(self) -> set[str]:
+        return {c for c, p in self.parents.items() if p is None}
+
+    def add_class(self, name: str, parent: str) -> None:
+        """Register a new concept class under an existing parent."""
+        if name in self.parents:
+            raise ValueError(f"class {name} already exists")
+        if parent not in self.parents:
+            raise ValueError(f"unknown parent class {parent}")
+        self.parents[name] = parent
+
+    def parent_of(self, cls: str) -> str | None:
+        if cls not in self.parents:
+            raise KeyError(cls)
+        return self.parents[cls]
+
+    def ancestors(self, cls: str) -> list[str]:
+        """All superclasses of ``cls`` from nearest to root (exclusive of cls)."""
+        out: list[str] = []
+        node = self.parent_of(cls)
+        while node is not None:
+            out.append(node)
+            node = self.parents.get(node)
+        return out
+
+    def is_subclass(self, child: str, ancestor: str) -> bool:
+        """True when ``child`` equals or transitively inherits ``ancestor``."""
+        return child == ancestor or ancestor in self.ancestors(child)
+
+    def root_of(self, cls: str) -> str:
+        """The top superclass (``Event`` or ``Resource``) of a class."""
+        chain = [cls] + self.ancestors(cls)
+        return chain[-1]
+
+    def subclass_triples(self) -> list[tuple[str, str, str]]:
+        """The ``(child, subclassOf, parent)`` triples of the hierarchy."""
+        return [(c, "subclassOf", p) for c, p in self.parents.items()
+                if p is not None]

@@ -1,0 +1,47 @@
+"""Triple → sentence serialisation (Sec. IV-A1(ii)).
+
+Relational triples and *significant* attribute triples are serialised by
+concatenating entity/relation surfaces through the prompt templates, turning
+structured knowledge into sentences the language model can consume (implicit
+knowledge injection).
+"""
+
+from __future__ import annotations
+
+from repro.kg.graph import AttributeTriple, TeleKG, Triple
+from repro.prompts.templates import wrap_attribute, wrap_triple
+
+#: Attributes judged significant enough to serialise (the paper evaluates and
+#: keeps only part of the attribute triples).
+SIGNIFICANT_ATTRIBUTES: frozenset[str] = frozenset(
+    {"severity", "unit", "normal low", "normal high"})
+
+
+def serialize_triple(kg: TeleKG, triple: Triple) -> str:
+    """Render one relational triple using entity surfaces."""
+    head = kg.entity(triple.head).surface
+    tail = kg.entity(triple.tail).surface
+    return wrap_triple(head, triple.relation, tail)
+
+
+def serialize_attribute_triple(kg: TeleKG, fact: AttributeTriple) -> str:
+    """Render one attribute triple using the entity surface."""
+    surface = kg.entity(fact.entity).surface
+    return wrap_attribute(surface, fact.attribute, fact.value)
+
+
+def serialize_kg(kg: TeleKG, include_attributes: bool = True,
+                 significant_only: bool = True) -> list[str]:
+    """Serialise the whole KG to prompt-wrapped sentences.
+
+    Relational triples are always included; attribute triples only when
+    ``include_attributes`` and (optionally) when their attribute name is in
+    :data:`SIGNIFICANT_ATTRIBUTES`.
+    """
+    sentences = [serialize_triple(kg, t) for t in kg.triples]
+    if include_attributes:
+        for fact in kg.attributes:
+            if significant_only and fact.attribute not in SIGNIFICANT_ATTRIBUTES:
+                continue
+            sentences.append(serialize_attribute_triple(kg, fact))
+    return sentences

@@ -1,0 +1,43 @@
+"""Knowledge-graph-embedding substrate (the NeuralKG role for FCT).
+
+* :class:`TransE` — translation embeddings with margin ranking loss.
+* :class:`GTransE` — the uncertain-KG generalisation used by fault chain
+  tracing (Eq. 24): the margin is scaled per-fact by confidence ``s^α · M``.
+* :func:`link_prediction_ranks` — filtered link-prediction evaluation.
+"""
+
+from repro.kge.transe import TransE
+from repro.kge.gtranse import GTransE, UncertainTriple
+from repro.kge.ranking import link_prediction_ranks
+from repro.kge.classification import (
+    TripleClassificationResult,
+    triple_classification,
+)
+from repro.kge.trainer import KgeTrainer, KgeTrainingLog
+from repro.kge.models import (
+    ComplEx,
+    DistMult,
+    KgeModel,
+    MODEL_REGISTRY,
+    RotatE,
+    TransH,
+    build_kge_model,
+)
+
+__all__ = [
+    "ComplEx",
+    "DistMult",
+    "GTransE",
+    "KgeModel",
+    "KgeTrainer",
+    "KgeTrainingLog",
+    "MODEL_REGISTRY",
+    "RotatE",
+    "TransE",
+    "TransH",
+    "TripleClassificationResult",
+    "UncertainTriple",
+    "build_kge_model",
+    "link_prediction_ranks",
+    "triple_classification",
+]

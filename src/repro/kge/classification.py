@@ -1,0 +1,100 @@
+"""Triple classification — the second standard KGE evaluation task.
+
+The paper's related-work framing (Sec. I) names "link prediction or triple
+classification" as the knowledge-inference tasks KGE serves; link prediction
+drives FCT, and this module completes the pair: given a scored KGE model,
+learn one decision threshold per relation on a validation set (positives =
+true triples, negatives = corruptions) and classify test triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor import no_grad
+
+
+@dataclass
+class TripleClassificationResult:
+    """Accuracy plus the learned thresholds."""
+
+    accuracy: float
+    thresholds: dict[int, float]
+
+
+def _scores(model, triples: np.ndarray) -> np.ndarray:
+    with no_grad():
+        return model.score(triples[:, 0], triples[:, 1],
+                           triples[:, 2]).data.copy()
+
+
+def _best_threshold(positive: np.ndarray, negative: np.ndarray) -> float:
+    """Threshold minimising classification error (distance convention:
+    a triple is predicted true when its score is *below* the threshold)."""
+    candidates = np.unique(np.concatenate([positive, negative]))
+    midpoints = (candidates[:-1] + candidates[1:]) / 2.0
+    candidates = np.concatenate([[candidates[0] - 1.0], midpoints,
+                                 [candidates[-1] + 1.0]])
+    best_threshold = candidates[0]
+    best_correct = -1
+    for threshold in candidates:
+        correct = int((positive < threshold).sum()) + \
+            int((negative >= threshold).sum())
+        if correct > best_correct:
+            best_correct = correct
+            best_threshold = float(threshold)
+    return best_threshold
+
+
+def triple_classification(model,
+                          valid_positives: np.ndarray,
+                          valid_negatives: np.ndarray,
+                          test_positives: np.ndarray,
+                          test_negatives: np.ndarray
+                          ) -> TripleClassificationResult:
+    """Learn per-relation thresholds on valid, report accuracy on test.
+
+    All inputs are (N, 3) integer (head, relation, tail) arrays; positives
+    and negatives within a split need not be aligned.  Relations absent from
+    the validation set fall back to a global threshold.
+    """
+    valid_positives = np.asarray(valid_positives)
+    valid_negatives = np.asarray(valid_negatives)
+    test_positives = np.asarray(test_positives)
+    test_negatives = np.asarray(test_negatives)
+    for name, arr in (("valid_positives", valid_positives),
+                      ("valid_negatives", valid_negatives),
+                      ("test_positives", test_positives),
+                      ("test_negatives", test_negatives)):
+        if arr.ndim != 2 or arr.shape[1] != 3 or len(arr) == 0:
+            raise ValueError(f"{name} must be a nonempty (N, 3) array")
+
+    vp_scores = _scores(model, valid_positives)
+    vn_scores = _scores(model, valid_negatives)
+
+    global_threshold = _best_threshold(vp_scores, vn_scores)
+    thresholds: dict[int, float] = {}
+    for relation in np.unique(np.concatenate([valid_positives[:, 1],
+                                              valid_negatives[:, 1]])):
+        pos_mask = valid_positives[:, 1] == relation
+        neg_mask = valid_negatives[:, 1] == relation
+        if not pos_mask.any() or not neg_mask.any():
+            thresholds[int(relation)] = global_threshold
+            continue
+        thresholds[int(relation)] = _best_threshold(vp_scores[pos_mask],
+                                                    vn_scores[neg_mask])
+
+    tp_scores = _scores(model, test_positives)
+    tn_scores = _scores(model, test_negatives)
+    correct = 0
+    for triples, scores, is_positive in ((test_positives, tp_scores, True),
+                                         (test_negatives, tn_scores, False)):
+        for triple, score in zip(triples, scores):
+            threshold = thresholds.get(int(triple[1]), global_threshold)
+            predicted_true = score < threshold
+            correct += int(predicted_true == is_positive)
+    total = len(test_positives) + len(test_negatives)
+    return TripleClassificationResult(accuracy=correct / total,
+                                      thresholds=thresholds)

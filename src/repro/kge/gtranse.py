@@ -1,0 +1,67 @@
+"""GTransE: translation embeddings on uncertain KGs (Kertkeidkachorn 2019).
+
+The FCT task models fault knowledge as probabilistic quadruples
+``(h, r, t, s)`` with confidence ``s ∈ [0, 1]``; GTransE scales the margin of
+the hinge by ``s^α · M`` (Eq. 24), so high-confidence facts must be separated
+from their corruptions by a larger margin while dubious facts exert less
+force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kge.transe import TransE
+from repro.tensor.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class UncertainTriple:
+    """A probabilistic fact ``(h, r, t, s)`` over integer ids."""
+
+    head: int
+    relation: int
+    tail: int
+    confidence: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence must be in [0,1], got {self.confidence}")
+
+
+class GTransE(TransE):
+    """TransE with confidence-scaled margins."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 rng: np.random.Generator, margin: float = 1.0,
+                 alpha: float = 1.0,
+                 entity_init: np.ndarray | None = None):
+        super().__init__(num_entities, num_relations, dim, rng,
+                         entity_init=entity_init)
+        self.margin = margin
+        self.alpha = alpha
+
+    def confidence_loss(self, positives: list[UncertainTriple],
+                        negatives: np.ndarray) -> Tensor:
+        """Eq. 24: ``[d(h,r,t) − d(h',r,t') + s^α·M]₊`` averaged.
+
+        ``negatives`` is a (B, 3) index array aligned with ``positives``.
+        """
+        if not positives:
+            raise ValueError("empty positive batch")
+        negatives = np.asarray(negatives)
+        if negatives.shape != (len(positives), 3):
+            raise ValueError("negatives must be (B, 3) aligned with positives")
+        heads = np.array([p.head for p in positives])
+        relations = np.array([p.relation for p in positives])
+        tails = np.array([p.tail for p in positives])
+        confidences = np.array([p.confidence for p in positives])
+
+        positive_distance = self.score(heads, relations, tails)
+        negative_distance = self.score(negatives[:, 0], negatives[:, 1],
+                                       negatives[:, 2])
+        margins = Tensor((confidences ** self.alpha) * self.margin)
+        raw = positive_distance - negative_distance + margins
+        return raw.relu().mean()

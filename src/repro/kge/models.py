@@ -1,0 +1,218 @@
+"""Additional KGE scoring models: TransH, DistMult, ComplEx, RotatE.
+
+The paper cites this family ([5]–[8]) as the standard embedding approach to
+Tele-KG completion that KTeleBERT's text-enhanced KE objective competes with;
+implementing them makes the FCT harness able to ablate the scoring function
+(see ``benchmarks/test_ablations.py``) and gives the library a complete KGE
+substrate in the NeuralKG spirit.
+
+All models share the :class:`KgeModel` interface: ``score`` (lower = more
+plausible, distance convention), ``score_all_tails`` / ``score_all_heads``
+for ranking, and ``margin_loss`` for training.  Similarity-based models
+(DistMult, ComplEx) negate their score to fit the distance convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import margin_ranking_loss
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class KgeModel(Module):
+    """Interface shared by all KGE scorers (distance convention)."""
+
+    num_entities: int
+    num_relations: int
+    dim: int
+
+    def score(self, heads: np.ndarray, relations: np.ndarray,
+              tails: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    def score_all_tails(self, head: int, relation: int) -> np.ndarray:
+        """Default dense implementation via :meth:`score` (no grad)."""
+        from repro.tensor import no_grad
+        entities = np.arange(self.num_entities)
+        with no_grad():
+            scores = self.score(np.full(self.num_entities, head),
+                                np.full(self.num_entities, relation),
+                                entities)
+        return scores.data.copy()
+
+    def score_all_heads(self, relation: int, tail: int) -> np.ndarray:
+        from repro.tensor import no_grad
+        entities = np.arange(self.num_entities)
+        with no_grad():
+            scores = self.score(entities,
+                                np.full(self.num_entities, relation),
+                                np.full(self.num_entities, tail))
+        return scores.data.copy()
+
+    def margin_loss(self, positives: np.ndarray, negatives: np.ndarray,
+                    margin: float = 1.0) -> Tensor:
+        positives = np.asarray(positives)
+        negatives = np.asarray(negatives)
+        pos = self.score(positives[:, 0], positives[:, 1], positives[:, 2])
+        neg = self.score(negatives[:, 0], negatives[:, 1], negatives[:, 2])
+        return margin_ranking_loss(pos, neg, margin=margin)
+
+    def normalize_entities(self) -> None:
+        """Optional post-step constraint; default is a no-op."""
+
+
+def _uniform_table(rng: np.random.Generator, rows: int, dim: int) -> np.ndarray:
+    bound = 6.0 / np.sqrt(dim)
+    return rng.uniform(-bound, bound, size=(rows, dim))
+
+
+class TransH(KgeModel):
+    """Wang et al. 2014: translation on relation-specific hyperplanes.
+
+    Entities are projected onto the relation's hyperplane (normal ``w_r``)
+    before the TransE distance is computed.
+    """
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+        self.entity_embeddings = Parameter(_uniform_table(rng, num_entities, dim))
+        self.relation_embeddings = Parameter(
+            _uniform_table(rng, num_relations, dim))
+        self.normals = Parameter(_uniform_table(rng, num_relations, dim))
+
+    def _project(self, vectors: Tensor, normals: Tensor) -> Tensor:
+        # Normalise the hyperplane normals, then remove the normal component.
+        unit = normals / (F.l2_norm(normals, axis=-1, eps=1e-12)
+                          .expand_dims(-1))
+        dot = (vectors * unit).sum(axis=-1, keepdims=True)
+        return vectors - unit * dot
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entity_embeddings.take_rows(np.asarray(heads))
+        r = self.relation_embeddings.take_rows(np.asarray(relations))
+        w = self.normals.take_rows(np.asarray(relations))
+        t = self.entity_embeddings.take_rows(np.asarray(tails))
+        return F.l2_norm(self._project(h, w) + r - self._project(t, w),
+                         axis=-1, eps=1e-12)
+
+    def normalize_entities(self) -> None:
+        norms = np.linalg.norm(self.entity_embeddings.data, axis=-1,
+                               keepdims=True)
+        np.maximum(norms, 1.0, out=norms)
+        self.entity_embeddings.data /= norms
+
+
+class DistMult(KgeModel):
+    """Yang et al. 2015: bilinear-diagonal similarity (negated to distance)."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+        self.entity_embeddings = Parameter(_uniform_table(rng, num_entities, dim))
+        self.relation_embeddings = Parameter(
+            _uniform_table(rng, num_relations, dim))
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entity_embeddings.take_rows(np.asarray(heads))
+        r = self.relation_embeddings.take_rows(np.asarray(relations))
+        t = self.entity_embeddings.take_rows(np.asarray(tails))
+        return -(h * r * t).sum(axis=-1)
+
+
+class ComplEx(KgeModel):
+    """Trouillon et al. 2016: complex bilinear scoring (negated to distance).
+
+    Embeddings are stored as (dim) real + (dim) imaginary halves.
+    """
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+        self.entity_re = Parameter(_uniform_table(rng, num_entities, dim))
+        self.entity_im = Parameter(_uniform_table(rng, num_entities, dim))
+        self.relation_re = Parameter(_uniform_table(rng, num_relations, dim))
+        self.relation_im = Parameter(_uniform_table(rng, num_relations, dim))
+
+    def score(self, heads, relations, tails) -> Tensor:
+        heads = np.asarray(heads)
+        relations = np.asarray(relations)
+        tails = np.asarray(tails)
+        h_re = self.entity_re.take_rows(heads)
+        h_im = self.entity_im.take_rows(heads)
+        r_re = self.relation_re.take_rows(relations)
+        r_im = self.relation_im.take_rows(relations)
+        t_re = self.entity_re.take_rows(tails)
+        t_im = self.entity_im.take_rows(tails)
+        # Re(<h, r, conj(t)>)
+        real_part = (h_re * r_re * t_re + h_im * r_re * t_im +
+                     h_re * r_im * t_im - h_im * r_im * t_re)
+        return -real_part.sum(axis=-1)
+
+
+class RotatE(KgeModel):
+    """Sun et al. 2019: relations as rotations in the complex plane.
+
+    The relation phase table stores angles; scoring rotates the head and
+    measures the complex-modulus distance to the tail.
+    """
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+        self.entity_re = Parameter(_uniform_table(rng, num_entities, dim))
+        self.entity_im = Parameter(_uniform_table(rng, num_entities, dim))
+        self.phases = Parameter(
+            rng.uniform(-np.pi, np.pi, size=(num_relations, dim)))
+
+    def score(self, heads, relations, tails) -> Tensor:
+        heads = np.asarray(heads)
+        relations = np.asarray(relations)
+        tails = np.asarray(tails)
+        h_re = self.entity_re.take_rows(heads)
+        h_im = self.entity_im.take_rows(heads)
+        t_re = self.entity_re.take_rows(tails)
+        t_im = self.entity_im.take_rows(tails)
+        phase = self.phases.take_rows(relations)
+        cos = phase.cos()
+        sin = phase.sin()
+        rotated_re = h_re * cos - h_im * sin
+        rotated_im = h_re * sin + h_im * cos
+        diff_re = rotated_re - t_re
+        diff_im = rotated_im - t_im
+        return ((diff_re * diff_re + diff_im * diff_im) + 1e-12) \
+            .sqrt().sum(axis=-1)
+
+
+MODEL_REGISTRY = {
+    "transh": TransH,
+    "distmult": DistMult,
+    "complex": ComplEx,
+    "rotate": RotatE,
+}
+
+
+def build_kge_model(name: str, num_entities: int, num_relations: int,
+                    dim: int, rng: np.random.Generator) -> KgeModel:
+    """Factory over :data:`MODEL_REGISTRY` (TransE/GTransE live in their
+    own modules and are constructed directly)."""
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise ValueError(f"unknown KGE model {name!r}; "
+                         f"choose from {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[key](num_entities, num_relations, dim, rng)

@@ -1,0 +1,41 @@
+"""Filtered link-prediction evaluation for KGE models."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.evaluation.ranking import rank_of
+from repro.kge.transe import TransE
+
+
+def link_prediction_ranks(model: TransE,
+                          test_triples: Sequence[tuple[int, int, int]],
+                          known_triples: Iterable[tuple[int, int, int]] = (),
+                          predict: str = "tail") -> list[int]:
+    """Ranks of the true entity when completing each test triple.
+
+    For ``predict="tail"`` the model scores ``(h, r, *)`` against every
+    entity; other known facts with the same (h, r) are *filtered* (their
+    scores set to +inf) so they cannot crowd out the target — the standard
+    filtered protocol.  ``predict="both"`` interleaves head and tail ranks.
+    """
+    if predict not in ("tail", "head", "both"):
+        raise ValueError("predict must be 'tail', 'head', or 'both'")
+    known = set(known_triples)
+    ranks: list[int] = []
+    for head, relation, tail in test_triples:
+        if predict in ("tail", "both"):
+            scores = model.score_all_tails(head, relation).copy()
+            for h, r, t in known:
+                if h == head and r == relation and t != tail:
+                    scores[t] = np.inf
+            ranks.append(rank_of(scores, tail, higher_is_better=False))
+        if predict in ("head", "both"):
+            scores = model.score_all_heads(relation, tail).copy()
+            for h, r, t in known:
+                if t == tail and r == relation and h != head:
+                    scores[h] = np.inf
+            ranks.append(rank_of(scores, head, higher_is_better=False))
+    return ranks

@@ -1,0 +1,136 @@
+"""Generic KGE training harness (the NeuralKG role, Sec. V-D3).
+
+One loop that trains any :class:`~repro.kge.models.KgeModel`-shaped scorer
+(including :class:`~repro.kge.transe.TransE` and
+:class:`~repro.kge.gtranse.GTransE`) with uniform negative sampling,
+mini-batching, optional entity-norm projection, and validation-based model
+selection — the machinery FCT and the KGE ablations share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.kge.gtranse import GTransE, UncertainTriple
+from repro.kge.ranking import link_prediction_ranks
+from repro.nn.optim import Adam
+
+
+@dataclass
+class KgeTrainingLog:
+    """Per-epoch loss and validation history."""
+
+    loss: list[float] = field(default_factory=list)
+    valid_mrr: list[float] = field(default_factory=list)
+
+
+class KgeTrainer:
+    """Trains a KGE model on (possibly uncertain) triples.
+
+    Parameters
+    ----------
+    model:
+        Any scorer exposing ``score`` / ``margin_loss`` /
+        ``normalize_entities`` (and ``confidence_loss`` when given
+        :class:`UncertainTriple` facts and the model is a GTransE).
+    triples:
+        Either ``(h, r, t)`` integer tuples or :class:`UncertainTriple`s.
+    """
+
+    def __init__(self, model, triples: Sequence, num_entities: int,
+                 rng: np.random.Generator, learning_rate: float = 0.05,
+                 batch_size: int = 32, margin: float = 2.0,
+                 negatives_per_positive: int = 4,
+                 filtered: bool = True):
+        if not triples:
+            raise ValueError("no training triples")
+        self.model = model
+        self.triples = list(triples)
+        self.num_entities = num_entities
+        self.rng = rng
+        self.batch_size = batch_size
+        self.margin = margin
+        self.negatives_per_positive = negatives_per_positive
+        self.optimizer = Adam(model.parameters(), lr=learning_rate)
+        self.uncertain = isinstance(self.triples[0], UncertainTriple)
+        self._known = {self._as_tuple(t) for t in self.triples} \
+            if filtered else set()
+        self.log = KgeTrainingLog()
+
+    @staticmethod
+    def _as_tuple(triple) -> tuple[int, int, int]:
+        if isinstance(triple, UncertainTriple):
+            return (triple.head, triple.relation, triple.tail)
+        return tuple(int(x) for x in triple)
+
+    def _corrupt(self, triple) -> tuple[int, int, int]:
+        head, relation, tail = self._as_tuple(triple)
+        for _ in range(30):
+            replacement = int(self.rng.integers(self.num_entities))
+            candidate = ((replacement, relation, tail)
+                         if self.rng.random() < 0.5
+                         else (head, relation, replacement))
+            if candidate not in self._known and candidate[0] != candidate[2]:
+                return candidate
+        return (head, relation, (tail + 1) % self.num_entities)
+
+    def _batch_loss(self, batch):
+        negatives = np.array([self._corrupt(t) for t in batch])
+        if self.uncertain and isinstance(self.model, GTransE):
+            return self.model.confidence_loss(batch, negatives)
+        positives = np.array([self._as_tuple(t) for t in batch])
+        return self.model.margin_loss(positives, negatives,
+                                      margin=self.margin)
+
+    def train_epoch(self) -> float:
+        """One pass over the (replicated) triple list; returns mean loss."""
+        replicated = self.triples * self.negatives_per_positive
+        order = self.rng.permutation(len(replicated))
+        losses: list[float] = []
+        for start in range(0, len(order), self.batch_size):
+            batch = [replicated[i] for i in order[start:start + self.batch_size]]
+            self.optimizer.zero_grad()
+            loss = self._batch_loss(batch)
+            loss.backward()
+            self.optimizer.step()
+            losses.append(float(loss.data))
+        self.model.normalize_entities()
+        mean = float(np.mean(losses))
+        self.log.loss.append(mean)
+        return mean
+
+    def validate(self, valid_triples: Sequence[tuple[int, int, int]],
+                 known: set | None = None) -> float:
+        """Filtered tail-prediction MRR on a validation split."""
+        if not valid_triples:
+            return 0.0
+        ranks = link_prediction_ranks(
+            self.model, list(valid_triples),
+            known_triples=known if known is not None else self._known,
+            predict="tail")
+        mrr = float(np.mean([1.0 / r for r in ranks]))
+        self.log.valid_mrr.append(mrr)
+        return mrr
+
+    def fit(self, epochs: int,
+            valid_triples: Sequence[tuple[int, int, int]] = (),
+            validate_every: int = 5,
+            known: set | None = None) -> KgeTrainingLog:
+        """Train with optional validation-based best-state selection."""
+        best_state = self.model.state_dict()
+        best_mrr = self.validate(valid_triples, known) if valid_triples else 0.0
+        for epoch in range(epochs):
+            self.train_epoch()
+            is_checkpoint = ((epoch + 1) % validate_every == 0 or
+                             epoch == epochs - 1)
+            if valid_triples and is_checkpoint:
+                mrr = self.validate(valid_triples, known)
+                if mrr > best_mrr:
+                    best_mrr = mrr
+                    best_state = self.model.state_dict()
+        if valid_triples:
+            self.model.load_state_dict(best_state)
+        return self.log

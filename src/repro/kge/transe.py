@@ -1,0 +1,89 @@
+"""TransE (Bordes et al. 2013) on learnable embedding tables.
+
+Unlike :mod:`repro.models.ke` (which scores *text-encoded* embeddings), this
+module owns its own entity/relation tables — the classic KGE setting used by
+the FCT task, where KTeleBERT only supplies the *initialisation* of the
+entity embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import margin_ranking_loss
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class TransE(Module):
+    """Entity/relation embeddings scored by ``||h + r − t||``."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 rng: np.random.Generator,
+                 entity_init: np.ndarray | None = None):
+        super().__init__()
+        if num_entities < 1 or num_relations < 1:
+            raise ValueError("need at least one entity and one relation")
+        bound = 6.0 / np.sqrt(dim)
+        if entity_init is not None:
+            entity_init = np.asarray(entity_init, dtype=float)
+            if entity_init.shape != (num_entities, dim):
+                raise ValueError(
+                    f"entity_init shape {entity_init.shape} != "
+                    f"({num_entities}, {dim})")
+            entities = entity_init.copy()
+        else:
+            entities = rng.uniform(-bound, bound, size=(num_entities, dim))
+        self.entity_embeddings = Parameter(entities)
+        self.relation_embeddings = Parameter(
+            rng.uniform(-bound, bound, size=(num_relations, dim)))
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+
+    # ------------------------------------------------------------------
+    def score(self, heads: np.ndarray, relations: np.ndarray,
+              tails: np.ndarray) -> Tensor:
+        """Distances for index triples (lower = more plausible)."""
+        h = self.entity_embeddings.take_rows(np.asarray(heads))
+        r = self.relation_embeddings.take_rows(np.asarray(relations))
+        t = self.entity_embeddings.take_rows(np.asarray(tails))
+        return F.l2_norm(h + r - t, axis=-1, eps=1e-12)
+
+    def score_all_tails(self, head: int, relation: int) -> np.ndarray:
+        """Distances of (head, relation, *) against every entity (no grad)."""
+        from repro.tensor import no_grad
+        with no_grad():
+            h = self.entity_embeddings.data[head]
+            r = self.relation_embeddings.data[relation]
+            candidates = self.entity_embeddings.data
+            return np.linalg.norm(h + r - candidates, axis=-1)
+
+    def score_all_heads(self, relation: int, tail: int) -> np.ndarray:
+        """Distances of (*, relation, tail) against every entity (no grad)."""
+        t = self.entity_embeddings.data[tail]
+        r = self.relation_embeddings.data[relation]
+        candidates = self.entity_embeddings.data
+        return np.linalg.norm(candidates + r - t, axis=-1)
+
+    # ------------------------------------------------------------------
+    def margin_loss(self, positives: np.ndarray, negatives: np.ndarray,
+                    margin: float = 1.0) -> Tensor:
+        """Hinge loss between positive and negative index triples.
+
+        ``positives`` and ``negatives`` are (B, 3) arrays of
+        (head, relation, tail) indices.
+        """
+        positives = np.asarray(positives)
+        negatives = np.asarray(negatives)
+        pos = self.score(positives[:, 0], positives[:, 1], positives[:, 2])
+        neg = self.score(negatives[:, 0], negatives[:, 1], negatives[:, 2])
+        return margin_ranking_loss(pos, neg, margin=margin)
+
+    def normalize_entities(self) -> None:
+        """Project entity embeddings onto the unit ball (TransE's constraint)."""
+        norms = np.linalg.norm(self.entity_embeddings.data, axis=-1,
+                               keepdims=True)
+        np.maximum(norms, 1.0, out=norms)
+        self.entity_embeddings.data /= norms

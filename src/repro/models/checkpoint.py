@@ -1,0 +1,117 @@
+"""Checkpointing: persist and restore a complete KTeleBERT artifact.
+
+A checkpoint directory holds:
+
+* ``meta.json`` — model geometry, stage-2 config, tag names, normaliser
+  ranges;
+* ``vocab.json`` — the tokenizer vocabulary (with special-token flags);
+* ``weights.npz`` — every parameter of the encoder, MLM head, ANEnc, NDec,
+  TGC, and the automatic-loss-weighting μ, keyed by component and dotted
+  parameter path.
+
+This is what "service delivery" looks like operationally: the pre-training
+team ships the directory; task teams load it read-only and call ``encode``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.models.bert import BertConfig, BertForMaskedLM
+from repro.models.ktelebert import KTeleBert, KTeleBertConfig
+from repro.numeric.normalization import TagNormalizer
+from repro.tokenization.tokenizer import WordTokenizer
+from repro.tokenization.vocab import Vocab
+
+_FORMAT_VERSION = 1
+
+
+def _component_states(model: KTeleBert) -> dict[str, dict[str, np.ndarray]]:
+    states = {
+        "mlm_model": model.mlm_model.state_dict(),
+        "anenc": model.anenc.state_dict(),
+        "ndec": model.ndec.state_dict(),
+        "awl": model.numeric_loss.awl.state_dict(),
+    }
+    if model.tgc is not None:
+        states["tgc"] = model.tgc.state_dict()
+    return states
+
+
+def save_ktelebert(model: KTeleBert, path: str | Path) -> Path:
+    """Write a checkpoint directory; returns its path."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "bert_config": dataclasses.asdict(model.bert_config),
+        "ktelebert_config": dataclasses.asdict(model.config),
+        "tag_names": model.tag_names,
+        "normalizer": {
+            "ranges": {tag: list(bounds)
+                       for tag, bounds in model.normalizer.ranges.items()},
+            "global_range": list(model.normalizer.global_range)
+            if model.normalizer.global_range else None,
+        },
+        "tokenizer": {
+            "max_length": model.tokenizer.max_length,
+            "lowercase": model.tokenizer.lowercase,
+        },
+    }
+    (path / "meta.json").write_text(json.dumps(meta, ensure_ascii=False))
+    model.tokenizer.vocab.save(path / "vocab.json")
+
+    flat: dict[str, np.ndarray] = {}
+    for component, state in _component_states(model).items():
+        for name, values in state.items():
+            flat[f"{component}/{name}"] = values
+    np.savez(path / "weights.npz", **flat)
+    return path
+
+
+def load_ktelebert(path: str | Path, seed: int = 0) -> KTeleBert:
+    """Restore a KTeleBERT from :func:`save_ktelebert` output."""
+    path = Path(path)
+    meta = json.loads((path / "meta.json").read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format: "
+                         f"{meta.get('format_version')!r}")
+
+    vocab = Vocab.load(path / "vocab.json")
+    tokenizer = WordTokenizer(vocab,
+                              max_length=meta["tokenizer"]["max_length"],
+                              lowercase=meta["tokenizer"]["lowercase"])
+    bert_config = BertConfig(**meta["bert_config"])
+    config = KTeleBertConfig(**meta["ktelebert_config"])
+    normalizer = TagNormalizer(
+        ranges={tag: tuple(bounds)
+                for tag, bounds in meta["normalizer"]["ranges"].items()},
+        global_range=tuple(meta["normalizer"]["global_range"])
+        if meta["normalizer"]["global_range"] else None)
+
+    rng = np.random.default_rng(seed)
+    model = KTeleBert(tokenizer=tokenizer, bert_config=bert_config,
+                      config=config, tag_names=meta["tag_names"],
+                      normalizer=normalizer, rng=rng,
+                      mlm_model=BertForMaskedLM(bert_config, rng))
+
+    with np.load(path / "weights.npz") as archive:
+        grouped: dict[str, dict[str, np.ndarray]] = {}
+        for key in archive.files:
+            component, _, name = key.partition("/")
+            grouped.setdefault(component, {})[name] = archive[key]
+    model.mlm_model.load_state_dict(grouped["mlm_model"])
+    model.anenc.load_state_dict(grouped["anenc"])
+    model.ndec.load_state_dict(grouped["ndec"])
+    model.numeric_loss.awl.load_state_dict(grouped["awl"])
+    if model.tgc is not None:
+        if "tgc" not in grouped:
+            raise ValueError("checkpoint lacks TGC weights but the config "
+                             "enables the tag classifier")
+        model.tgc.load_state_dict(grouped["tgc"])
+    return model

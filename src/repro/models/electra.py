@@ -1,0 +1,107 @@
+"""ELECTRA pre-training (Sec. III-B).
+
+A small MLM *generator* reconstructs masked tokens; its sampled predictions
+corrupt the input, and the main model — the *discriminator*, which becomes
+TeleBERT — is trained with replaced-token detection (RTD): classify every
+position as original vs replaced.  The discriminator objective is weighted by
+``rtd_weight`` (ELECTRA uses 50; with our tiny models a smaller weight keeps
+the two losses comparable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+import numpy as np
+
+from repro.models.bert import BertConfig, BertEncoder, BertForMaskedLM
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+from repro.training.masking import DynamicMasker, IGNORE_INDEX
+
+
+@dataclass
+class ElectraStepOutput:
+    """Losses and diagnostics of one ELECTRA step."""
+
+    total: Tensor
+    generator_loss: float
+    discriminator_loss: float
+    replaced_fraction: float
+
+
+class RtdHead(Module):
+    """Per-position binary classifier: was this token replaced?"""
+
+    def __init__(self, d_model: int, rng: np.random.Generator):
+        super().__init__()
+        self.transform = Linear(d_model, d_model, rng)
+        self.output = Linear(d_model, 1, rng)
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        """(B, T, D) → (B, T) logits."""
+        logits = self.output(F.gelu(self.transform(hidden)))
+        return logits.reshape(hidden.shape[0], hidden.shape[1])
+
+
+class ElectraPretrainer(Module):
+    """Generator + discriminator RTD pre-training harness."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator,
+                 generator_shrink: int = 2, rtd_weight: float = 2.0):
+        super().__init__()
+        self.config = config
+        gen_config = dc_replace(
+            config,
+            d_model=max(config.d_model // generator_shrink, config.num_heads),
+            d_ff=max(config.d_ff // generator_shrink, 8))
+        self.generator = BertForMaskedLM(gen_config, rng)
+        self.discriminator = BertEncoder(config, rng)
+        self.rtd_head = RtdHead(config.d_model, rng)
+        self.rtd_weight = rtd_weight
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    def _sample_replacements(self, logits: Tensor,
+                             masked_positions: np.ndarray) -> np.ndarray:
+        """Sample generator tokens at masked positions (no gradient)."""
+        probs = F.softmax(logits.detach(), axis=-1).data
+        rows, cols = np.nonzero(masked_positions)
+        sampled = np.zeros(len(rows), dtype=np.int64)
+        for i, (r, c) in enumerate(zip(rows, cols)):
+            sampled[i] = self.rng.choice(probs.shape[-1], p=probs[r, c])
+        return sampled
+
+    def step(self, ids: np.ndarray, attention_mask: np.ndarray,
+             masker: DynamicMasker,
+             tokens: list[list[str]] | None = None) -> ElectraStepOutput:
+        """One ELECTRA forward: returns combined loss for backprop."""
+        masked = masker.mask_batch(ids, attention_mask, tokens=tokens)
+        gen_logits = self.generator(masked.ids, attention_mask=attention_mask)
+        gen_loss = F.cross_entropy(gen_logits, masked.labels,
+                                   ignore_index=IGNORE_INDEX)
+
+        # Corrupt input with sampled generator predictions.
+        corrupted = ids.copy()
+        rows, cols = np.nonzero(masked.mask_positions)
+        if len(rows):
+            sampled = self._sample_replacements(gen_logits,
+                                                masked.mask_positions)
+            corrupted[rows, cols] = sampled
+        replaced = (corrupted != ids) & (attention_mask > 0)
+
+        hidden = self.discriminator(corrupted, attention_mask=attention_mask)
+        rtd_logits = self.rtd_head(hidden)
+        valid = attention_mask > 0
+        flat_logits = rtd_logits.reshape(-1)[np.nonzero(valid.reshape(-1))[0]]
+        flat_labels = replaced.reshape(-1)[valid.reshape(-1)].astype(float)
+        disc_loss = F.binary_cross_entropy_with_logits(flat_logits, flat_labels)
+
+        total = gen_loss + disc_loss * self.rtd_weight
+        return ElectraStepOutput(
+            total=total,
+            generator_loss=float(gen_loss.data),
+            discriminator_loss=float(disc_loss.data),
+            replaced_fraction=float(replaced.sum() / max(valid.sum(), 1)))

@@ -1,0 +1,60 @@
+"""Multi-head self-attention (Vaswani et al.) for the BERT-style encoders."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads.
+
+    Input/output shape is ``(batch, seq, d_model)``.  ``attention_mask`` is a
+    ``(batch, seq)`` 0/1 validity mask; masked (0) key positions receive a
+    large negative bias before the softmax.
+    """
+
+    def __init__(self, d_model: int, num_heads: int, rng: np.random.Generator,
+                 dropout: float = 0.0):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by num_heads={num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.query = Linear(d_model, d_model, rng)
+        self.key = Linear(d_model, d_model, rng)
+        self.value = Linear(d_model, d_model, rng)
+        self.output = Linear(d_model, d_model, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, T, D) -> (B, H, T, Dh)
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None,
+                return_weights: bool = False):
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq)
+        k = self._split_heads(self.key(x), batch, seq)
+        v = self._split_heads(self.value(x), batch, seq)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        if attention_mask is not None:
+            scores = scores + Tensor(
+                F.attention_scores_mask(attention_mask, dtype=scores.dtype))
+        weights = F.softmax(scores, axis=-1)
+        weights = self.dropout(weights)
+
+        context = weights @ v  # (B, H, T, Dh)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+        out = self.output(context)
+        if return_weights:
+            return out, weights
+        return out

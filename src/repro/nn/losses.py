@@ -1,0 +1,127 @@
+"""Loss modules specific to the KTeleBERT training objectives.
+
+* :func:`margin_ranking_loss` — generic hinge used by KGE baselines.
+* :func:`info_nce` — in-batch contrastive loss (SimCSE and `L_nc`, Eq. 7).
+* :class:`AutomaticWeightedLoss` — Kendall-Gal homoscedastic-uncertainty
+  weighting used to fuse `L_reg`, `L_cls`, `L_nc` (the paper's `L_num`).
+* :func:`orthogonal_regularizer` — `Σ ||I - WᵀW||²_F` over the ANEnc value
+  transforms (Eq. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, stack
+
+
+def margin_ranking_loss(positive_scores: Tensor, negative_scores: Tensor,
+                        margin: float = 1.0) -> Tensor:
+    """Mean hinge ``max(0, margin + positive - negative)``.
+
+    Scores are *distances* (lower is better for true triples), matching the
+    TransE convention.
+    """
+    raw = positive_scores - negative_scores + margin
+    return raw.relu().mean()
+
+
+def info_nce(anchors: Tensor, positives: Tensor, temperature: float = 0.05) -> Tensor:
+    """In-batch InfoNCE: row i of ``anchors`` should match row i of ``positives``.
+
+    All other rows of ``positives`` in the batch act as negatives.  This is the
+    SimCSE objective when ``positives`` is a second dropout pass of the same
+    sentences.
+    """
+    if anchors.shape != positives.shape:
+        raise ValueError("anchors and positives must have the same shape")
+    # Cosine similarity matrix (B, B).
+    eps = 1e-8
+    norm_a = ((anchors * anchors).sum(axis=-1, keepdims=True) + eps).sqrt()
+    norm_p = ((positives * positives).sum(axis=-1, keepdims=True) + eps).sqrt()
+    a = anchors / norm_a
+    p = positives / norm_p
+    logits = (a @ p.transpose()) * (1.0 / temperature)
+    targets = np.arange(anchors.shape[0])
+    return F.cross_entropy(logits, targets)
+
+
+def numeric_contrastive_loss(embeddings: Tensor, values: np.ndarray,
+                             temperature: float = 0.05) -> Tensor:
+    """`L_nc` (Eq. 7): the in-batch sample with the closest value is positive.
+
+    Parameters
+    ----------
+    embeddings:
+        (B, D) numeric embeddings `h` from ANEnc.
+    values:
+        (B,) raw numeric values; closeness is measured on these.
+    """
+    values = np.asarray(values, dtype=float)
+    batch = embeddings.shape[0]
+    if batch < 3:
+        # Contrast needs one positive and at least one negative besides self.
+        return Tensor(0.0)
+    distance = np.abs(values[:, None] - values[None, :])
+    np.fill_diagonal(distance, np.inf)
+    positive_index = distance.argmin(axis=1)
+
+    eps = 1e-8
+    norms = ((embeddings * embeddings).sum(axis=-1, keepdims=True) + eps).sqrt()
+    unit = embeddings / norms
+    sims = (unit @ unit.transpose()) * (1.0 / temperature)
+    # Exclude self-similarity from the denominator.
+    mask = np.full((batch, batch), 0.0)
+    np.fill_diagonal(mask, -1e9)
+    sims = sims + Tensor(mask)
+    return F.cross_entropy(sims, positive_index)
+
+
+class AutomaticWeightedLoss(Module):
+    """Kendall-Gal automatic task weighting (Sec. IV-B4).
+
+    ``L = 1/2 Σ L_i / μ_i² + Σ log(1 + μ_i²)`` with learnable noise scales
+    ``μ_i``.  Parametrised directly by μ (initialised at 1) as in the paper's
+    cited formulation.
+    """
+
+    def __init__(self, num_tasks: int):
+        super().__init__()
+        if num_tasks < 1:
+            raise ValueError("num_tasks must be >= 1")
+        self.num_tasks = num_tasks
+        self.mu = Parameter(np.ones(num_tasks))
+
+    def forward(self, losses: Sequence[Tensor]) -> Tensor:
+        if len(losses) != self.num_tasks:
+            raise ValueError(
+                f"expected {self.num_tasks} losses, got {len(losses)}")
+        stacked = stack(list(losses))
+        mu_sq = self.mu * self.mu
+        weighted = (stacked / mu_sq).sum() * 0.5
+        regulariser = (mu_sq + 1.0).log().sum()
+        return weighted + regulariser
+
+    def weights(self) -> np.ndarray:
+        """Effective per-task weights ``1/(2 μ_i²)`` for inspection."""
+        return 0.5 / (self.mu.data ** 2)
+
+
+def orthogonal_regularizer(matrices: Sequence[Tensor]) -> Tensor:
+    """``Σ_i ||I - W_iᵀ W_i||²_F`` (Eq. 8) over square matrices."""
+    total: Tensor | None = None
+    for w in matrices:
+        if w.shape[-1] != w.shape[-2]:
+            raise ValueError("orthogonal regularizer expects square matrices")
+        eye = Tensor(np.eye(w.shape[-1]))
+        gram = w.transpose() @ w
+        diff = eye - gram
+        term = (diff * diff).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total

@@ -1,0 +1,141 @@
+"""Optimizers and learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and a mutable learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float,
+                 momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data -= self.lr * velocity
+            else:
+                param.data -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1 ** self._t
+        bias2 = 1.0 - beta2 ** self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * param.data
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def step(self) -> None:
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            if decay > 0:
+                for param in self.parameters:
+                    if param.grad is not None:
+                        param.data -= self.lr * decay * param.data
+            super().step()
+        finally:
+            self.weight_decay = decay
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Clip gradients in-place to a global L2 norm; returns the pre-clip norm."""
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for grad in grads:
+        total += float((grad * grad).sum())
+    norm = math.sqrt(total)
+    if norm > max_norm > 0:
+        scale = max_norm / (norm + 1e-12)
+        for grad in grads:
+            grad *= scale
+    return norm
+
+
+class LinearWarmupSchedule:
+    """Linear warmup to ``peak_lr`` then linear decay to zero.
+
+    Call :meth:`step` once per optimizer update; it mutates ``optimizer.lr``.
+    """
+
+    def __init__(self, optimizer: Optimizer, peak_lr: float,
+                 warmup_steps: int, total_steps: int):
+        if warmup_steps < 0 or total_steps <= 0:
+            raise ValueError("warmup_steps must be >= 0 and total_steps > 0")
+        self.optimizer = optimizer
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self._step = 0
+
+    def current_lr(self) -> float:
+        if self.warmup_steps > 0 and self._step < self.warmup_steps:
+            return self.peak_lr * self._step / self.warmup_steps
+        remaining = max(self.total_steps - self._step, 0)
+        span = max(self.total_steps - self.warmup_steps, 1)
+        return self.peak_lr * remaining / span
+
+    def step(self) -> float:
+        self._step += 1
+        lr = self.current_lr()
+        self.optimizer.lr = lr
+        return lr

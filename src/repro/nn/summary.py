@@ -1,0 +1,30 @@
+"""Model summaries: per-submodule parameter counts."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+
+
+def parameter_breakdown(module: Module) -> dict[str, int]:
+    """Parameter counts grouped by top-level child (plus ``(direct)``/total)."""
+    breakdown: dict[str, int] = {}
+    direct = sum(p.size for p in module._parameters.values())
+    if direct:
+        breakdown["(direct)"] = direct
+    for name, child in module._modules.items():
+        breakdown[name] = child.num_parameters()
+    breakdown["(total)"] = module.num_parameters()
+    return breakdown
+
+
+def summarize(module: Module, title: str | None = None) -> str:
+    """Human-readable summary table of a module's parameters."""
+    breakdown = parameter_breakdown(module)
+    width = max(len(k) for k in breakdown) + 2
+    lines = [title or module.__class__.__name__]
+    lines.append("-" * (width + 12))
+    for name, count in breakdown.items():
+        if name == "(total)":
+            lines.append("-" * (width + 12))
+        lines.append(f"{name.ljust(width)}{count:>10,}")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Transformer encoder blocks (post-norm, as in the original BERT)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Dropout, LayerNorm, Linear
+from repro.nn.module import Module, ModuleList
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class TransformerEncoderLayer(Module):
+    """One encoder block: self-attention + FFN, each with residual + LayerNorm."""
+
+    def __init__(self, d_model: int, num_heads: int, d_ff: int,
+                 rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(d_model, num_heads, rng,
+                                                dropout=dropout)
+        self.attention_norm = LayerNorm(d_model)
+        self.ffn_in = Linear(d_model, d_ff, rng)
+        self.ffn_out = Linear(d_ff, d_model, rng)
+        self.ffn_norm = LayerNorm(d_model)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        attended = self.attention(x, attention_mask=attention_mask)
+        x = self.attention_norm(x + self.dropout(attended))
+        hidden = self.ffn_out(F.gelu(self.ffn_in(x)))
+        return self.ffn_norm(x + self.dropout(hidden))
+
+
+class TransformerEncoder(Module):
+    """Stack of :class:`TransformerEncoderLayer`.
+
+    ``forward`` returns the final hidden states ``(B, T, D)``; pass
+    ``return_all_layers=True`` to also receive every intermediate layer (the
+    NDec numeric decoder consumes multi-layer interactions, Sec. IV-B1).
+    """
+
+    def __init__(self, num_layers: int, d_model: int, num_heads: int,
+                 d_ff: int, rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        self.layers = ModuleList([
+            TransformerEncoderLayer(d_model, num_heads, d_ff, rng, dropout=dropout)
+            for _ in range(num_layers)
+        ])
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None,
+                return_all_layers: bool = False):
+        all_layers = []
+        for layer in self.layers:
+            x = layer(x, attention_mask=attention_mask)
+            if return_all_layers:
+                all_layers.append(x)
+        if return_all_layers:
+            return x, all_layers
+        return x

@@ -1,0 +1,35 @@
+"""Adaptive numerical data encoding (Sec. IV-B, Figs. 4–5).
+
+Machine-log numerics carry most of the information in structured tele data;
+existing CTR-style field embeddings break when the field (tag name) set is
+huge and open-ended.  The paper's answer is the **adaptive numeric encoder**
+(ANEnc): the tag-name embedding queries a bank of field-aware meta embeddings
+and the attention mixture selects how the (scalar) value is projected.
+
+* :class:`TagNormalizer` — per-tag min-max normalisation (required before
+  encoding, Sec. IV-B).
+* :class:`ANEncLayer` / :class:`AdaptiveNumericEncoder` — L stacked layers of
+  attention-based numeric projection + FFN with a LoRA-style low-rank
+  residual (Eqs. 1–4).
+* :class:`NumericDecoder` (NDec) — regresses the value back from the
+  transformer output (`L_reg`, Eq. 5).
+* :class:`TagClassifier` (TGC) — recovers the tag name from `h` (`L_cls`,
+  Eq. 6; optional, since new tags appear over time).
+* :func:`numeric_loss` — `L_num`: auto-weighted `L_reg + L_cls + L_nc` plus
+  the orthogonal regularizer (Eqs. 7–8 via :mod:`repro.nn.losses`).
+"""
+
+from repro.numeric.normalization import TagNormalizer
+from repro.numeric.anenc import AdaptiveNumericEncoder, ANEncLayer
+from repro.numeric.heads import NumericDecoder, TagClassifier
+from repro.numeric.losses import NumericLossComputer, NumericLossOutput
+
+__all__ = [
+    "ANEncLayer",
+    "AdaptiveNumericEncoder",
+    "NumericDecoder",
+    "NumericLossComputer",
+    "NumericLossOutput",
+    "TagClassifier",
+    "TagNormalizer",
+]

@@ -1,0 +1,131 @@
+"""Adaptive numeric encoder (ANEnc), Eqs. 1–4 and Fig. 5.
+
+Per layer: the tag-name embedding ``t`` (constant across layers — it is the
+pooled output of the embedding layer) is projected by ``W_q`` into a query of
+size ``d/N`` and attends over ``N`` field-aware meta embeddings
+``E ∈ R^{N×(d/N)}``.  Each meta domain ``i`` owns a value transform
+``W_v^{(i)} ∈ R^{d×d}``; the attention mixture of the transformed inputs is
+the domain-adaptive embedding, which then passes through an FFN sublayer with
+a LoRA-style low-rank residual ``α·x·W_down·W_up`` and a LayerNorm (Eq. 4).
+The scalar value enters layer 1 through a 1→d map ``W_fc`` with activation
+(Eq. 3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.layers import LayerNorm, Linear, _xavier_uniform
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, stack
+
+
+class ANEncLayer(Module):
+    """One ANEnc layer: attention-based numeric projection + FFN/LoRA sublayer."""
+
+    def __init__(self, d_model: int, num_meta: int, lora_rank: int,
+                 rng: np.random.Generator, lora_alpha: float = 1.0,
+                 d_ff: int | None = None):
+        super().__init__()
+        if d_model % num_meta != 0:
+            raise ValueError(
+                f"d_model={d_model} must be divisible by num_meta={num_meta}")
+        if lora_rank > d_model:
+            raise ValueError("lora_rank must be <= d_model")
+        self.d_model = d_model
+        self.num_meta = num_meta
+        self.meta_dim = d_model // num_meta
+        self.lora_alpha = lora_alpha
+        d_ff = d_ff or 2 * d_model
+
+        # E: (N, d/N) field-aware meta embeddings.
+        self.meta_embeddings = Parameter(
+            rng.normal(0.0, 0.02, size=(num_meta, self.meta_dim)))
+        # W_q: (d, d/N) query conversion of the tag embedding.
+        self.query_proj = Parameter(
+            _xavier_uniform(rng, d_model, self.meta_dim,
+                            (d_model, self.meta_dim)))
+        # W_v^(i): one (d, d) value transform per meta domain, near-orthogonal
+        # initialisation (identity + noise) to start inside the regularizer's
+        # feasible region.
+        self._value_params: list[Parameter] = []
+        for i in range(num_meta):
+            param = Parameter(np.eye(d_model) +
+                              rng.normal(0.0, 0.02, size=(d_model, d_model)))
+            self.register_parameter(f"value_transform_{i}", param)
+            self._value_params.append(param)
+
+        self.ffn_in = Linear(d_model, d_ff, rng)
+        self.ffn_out = Linear(d_ff, d_model, rng)
+        self.lora_down = Parameter(
+            rng.normal(0.0, 0.02, size=(d_model, lora_rank)))
+        self.lora_up = Parameter(np.zeros((lora_rank, d_model)))
+        self.norm = LayerNorm(d_model)
+
+    @property
+    def value_params(self) -> list[Parameter]:
+        """The layer's ``W_v^{(i)}`` value-transform matrices."""
+        return list(self._value_params)
+
+    def attention_scores(self, tag_embedding: Tensor) -> Tensor:
+        """(B, N) softmax attention of the tag query over the meta domains."""
+        query = tag_embedding @ self.query_proj            # (B, d/N)
+        scores = query @ self.meta_embeddings.transpose()  # (B, N)
+        scores = scores * (1.0 / math.sqrt(self.meta_dim))
+        return F.softmax(scores, axis=-1)
+
+    def forward(self, x: Tensor, tag_embedding: Tensor) -> Tensor:
+        """Eq. 1–4: returns the layer output ``h`` of shape (B, d)."""
+        attn = self.attention_scores(tag_embedding)        # (B, N)
+        projected = stack([x @ w for w in self._value_params], axis=1)  # (B,N,d)
+        h_hat = (attn.expand_dims(-1) * projected).sum(axis=1)          # (B, d)
+        ffn = self.ffn_out(F.gelu(self.ffn_in(h_hat)))
+        lora = (x @ self.lora_down) @ self.lora_up
+        return self.norm(ffn + lora * self.lora_alpha)
+
+
+class AdaptiveNumericEncoder(Module):
+    """L stacked :class:`ANEncLayer` with the scalar entry map ``W_fc``.
+
+    ``forward`` maps normalised scalar values (B,) plus tag-name embeddings
+    (B, d) to numeric embeddings ``h`` (B, d), which KTeleBERT injects at the
+    ``[NUM]`` positions of the wrapped input.
+    """
+
+    def __init__(self, d_model: int, num_layers: int = 2, num_meta: int = 4,
+                 lora_rank: int = 8, lora_alpha: float = 1.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.d_model = d_model
+        self.num_layers = num_layers
+        # W_fc: 1 -> d scalar lift (Eq. 3, l = 1).
+        self.value_lift = Parameter(
+            _xavier_uniform(rng, 1, d_model, (1, d_model)))
+        self.layers = ModuleList([
+            ANEncLayer(d_model, num_meta, lora_rank, rng,
+                       lora_alpha=lora_alpha)
+            for _ in range(num_layers)
+        ])
+
+    def forward(self, values: np.ndarray, tag_embeddings: Tensor) -> Tensor:
+        """Encode normalised ``values`` under their tag-name embeddings."""
+        values = np.asarray(values, dtype=float).reshape(-1, 1)
+        if values.shape[0] != tag_embeddings.shape[0]:
+            raise ValueError("values and tag_embeddings must align")
+        x = F.gelu(Tensor(values) @ self.value_lift)  # ACT_FN(v W_fc)
+        for layer in self.layers:
+            x = layer(x, tag_embeddings)
+        return x
+
+    def value_transform_matrices(self) -> list[Parameter]:
+        """All ``W_v^{(i)}`` across layers (for the orthogonal regularizer)."""
+        matrices: list[Parameter] = []
+        for layer in self.layers:
+            matrices.extend(layer.value_params)
+        return matrices

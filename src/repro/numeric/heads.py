@@ -1,0 +1,54 @@
+"""NDec and TGC heads for the numeric self-supervision objectives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class NumericDecoder(Module):
+    """NDec (Sec. IV-B1): regress the scalar value from transformer output.
+
+    The paper feeds the *final transformer layer* output at the numeric
+    position into NDec so that cross-layer semantic interactions are involved;
+    a 2-layer MLP maps d → 1.
+    """
+
+    def __init__(self, d_model: int, rng: np.random.Generator,
+                 hidden: int | None = None):
+        super().__init__()
+        hidden = hidden or d_model
+        self.input = Linear(d_model, hidden, rng)
+        self.output = Linear(hidden, 1, rng)
+
+    def forward(self, hidden_state: Tensor) -> Tensor:
+        """(B, d) → (B,) predicted normalised values."""
+        out = self.output(F.gelu(self.input(hidden_state)))
+        return out.reshape(hidden_state.shape[0])
+
+
+class TagClassifier(Module):
+    """TGC (Sec. IV-B2): recover the tag name from the numeric embedding h.
+
+    Optional head — the tag inventory grows over time in production, so the
+    model must stay usable when this head is disabled.
+    """
+
+    def __init__(self, d_model: int, num_tags: int, rng: np.random.Generator):
+        super().__init__()
+        if num_tags < 2:
+            raise ValueError("tag classification needs at least 2 tags")
+        self.num_tags = num_tags
+        self.proj = Linear(d_model, num_tags, rng)
+
+    def forward(self, numeric_embedding: Tensor) -> Tensor:
+        """(B, d) → (B, num_tags) logits."""
+        return self.proj(numeric_embedding)
+
+    def loss(self, numeric_embedding: Tensor, tag_ids: np.ndarray) -> Tensor:
+        """`L_cls` (Eq. 6): cross-entropy on tag identity."""
+        return F.cross_entropy(self(numeric_embedding), np.asarray(tag_ids))

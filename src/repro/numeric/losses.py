@@ -1,0 +1,101 @@
+"""`L_num` assembly (Sec. IV-B4–5).
+
+Combines the numeric regression loss (Eq. 5), the optional tag classification
+loss (Eq. 6), and the numerical contrastive loss (Eq. 7) through Kendall-Gal
+automatic weighting, then adds the orthogonal regularizer over the value
+transforms with weight λ (Eq. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.losses import (
+    AutomaticWeightedLoss,
+    numeric_contrastive_loss,
+    orthogonal_regularizer,
+)
+from repro.numeric.anenc import AdaptiveNumericEncoder
+from repro.numeric.heads import TagClassifier
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class NumericLossOutput:
+    """`L_num` and its components (floats for logging, Tensor for backprop)."""
+
+    total: Tensor
+    regression: float
+    classification: float
+    contrastive: float
+    orthogonal: float
+
+
+class NumericLossComputer:
+    """Stateful combiner owning the AWL parameters.
+
+    Parameters
+    ----------
+    use_tag_classifier:
+        Disable when new unseen tag names make classification ill-posed
+        (the paper marks `L_cls` as optional for exactly this reason).
+    """
+
+    def __init__(self, use_tag_classifier: bool = True,
+                 contrastive_temperature: float = 0.05,
+                 orthogonal_weight: float = 1e-4,
+                 use_contrastive: bool = True):
+        num_tasks = 1 + int(use_tag_classifier) + int(use_contrastive)
+        self.use_tag_classifier = use_tag_classifier
+        self.use_contrastive = use_contrastive
+        self.contrastive_temperature = contrastive_temperature
+        self.orthogonal_weight = orthogonal_weight
+        self.awl = AutomaticWeightedLoss(num_tasks)
+
+    def parameters(self):
+        """The learnable μ parameters (to be added to the optimizer)."""
+        return self.awl.parameters()
+
+    def __call__(self, encoder: AdaptiveNumericEncoder,
+                 numeric_embeddings: Tensor,
+                 decoded_values: Tensor,
+                 true_values: np.ndarray,
+                 tag_classifier: TagClassifier | None = None,
+                 tag_ids: np.ndarray | None = None) -> NumericLossOutput:
+        """Assemble `L_num` for one batch.
+
+        ``numeric_embeddings`` is ANEnc's output ``h``; ``decoded_values`` is
+        NDec's output on the final transformer states; ``true_values`` are the
+        normalised ground-truth values.
+        """
+        true_values = np.asarray(true_values, dtype=float)
+        losses = [F.mse_loss(decoded_values, true_values)]
+        cls_value = 0.0
+        if self.use_tag_classifier:
+            if tag_classifier is None or tag_ids is None:
+                raise ValueError(
+                    "tag classifier enabled but classifier/tag_ids missing")
+            cls_loss = tag_classifier.loss(numeric_embeddings, tag_ids)
+            losses.append(cls_loss)
+            cls_value = float(cls_loss.data)
+        nc_value = 0.0
+        if self.use_contrastive:
+            nc_loss = numeric_contrastive_loss(
+                numeric_embeddings, true_values,
+                temperature=self.contrastive_temperature)
+            losses.append(nc_loss)
+            nc_value = float(nc_loss.data)
+
+        total = self.awl(losses)
+        orth = orthogonal_regularizer(encoder.value_transform_matrices())
+        total = total + orth * self.orthogonal_weight
+        return NumericLossOutput(
+            total=total,
+            regression=float(losses[0].data),
+            classification=cls_value,
+            contrastive=nc_value,
+            orthogonal=float(orth.data),
+        )

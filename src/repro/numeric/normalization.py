@@ -1,0 +1,70 @@
+"""Per-tag min-max normalisation of numeric values (Sec. IV-B).
+
+"All numerical values across the same tag name should be normalized via
+Min-max normalization to smooth the learning process."  The normaliser is
+fitted on observed (tag, value) pairs; values of unseen tags pass through a
+global fallback range so new fields (which the paper stresses keep appearing)
+do not crash encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class TagNormalizer:
+    """Min-max normaliser keyed by tag name."""
+
+    ranges: dict[str, tuple[float, float]] = field(default_factory=dict)
+    global_range: tuple[float, float] | None = None
+
+    def fit(self, tags: Sequence[str], values: Sequence[float]) -> "TagNormalizer":
+        """Record per-tag and global min/max from observations."""
+        if len(tags) != len(values):
+            raise ValueError("tags and values must align")
+        if len(values) == 0:
+            raise ValueError("cannot fit on empty data")
+        per_tag: dict[str, list[float]] = {}
+        for tag, value in zip(tags, values):
+            per_tag.setdefault(tag, []).append(float(value))
+        for tag, tag_values in per_tag.items():
+            self.ranges[tag] = (min(tag_values), max(tag_values))
+        all_values = [float(v) for v in values]
+        self.global_range = (min(all_values), max(all_values))
+        return self
+
+    def _range_for(self, tag: str) -> tuple[float, float]:
+        if tag in self.ranges:
+            return self.ranges[tag]
+        if self.global_range is None:
+            raise RuntimeError("normalizer is not fitted")
+        return self.global_range
+
+    def transform_one(self, tag: str, value: float) -> float:
+        """Normalise a single value into [0, 1] (clipped outside fitted range)."""
+        low, high = self._range_for(tag)
+        if high == low:
+            return 0.5
+        return float(np.clip((float(value) - low) / (high - low), 0.0, 1.0))
+
+    def transform(self, tags: Sequence[str],
+                  values: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`transform_one`."""
+        return np.array([self.transform_one(t, v)
+                         for t, v in zip(tags, values)])
+
+    def inverse_transform_one(self, tag: str, normalised: float) -> float:
+        """Map a normalised value back to the tag's original scale."""
+        low, high = self._range_for(tag)
+        return low + float(normalised) * (high - low)
+
+    def knows(self, tag: str) -> bool:
+        return tag in self.ranges
+
+    @property
+    def num_tags(self) -> int:
+        return len(self.ranges)

@@ -1,0 +1,33 @@
+"""Prompt templates for modality unification (Sec. IV-A2, Fig. 3)."""
+
+from repro.prompts.templates import (
+    ALL_PROMPT_TOKENS,
+    EXTENSION_PROMPT_TOKENS,
+    FIELD_SEPARATOR,
+    PromptTemplates,
+    wrap_alarm_log,
+    wrap_attribute,
+    wrap_config,
+    wrap_document_sentence,
+    wrap_entity,
+    wrap_kpi_log,
+    wrap_log_record,
+    wrap_signaling,
+    wrap_triple,
+)
+
+__all__ = [
+    "ALL_PROMPT_TOKENS",
+    "EXTENSION_PROMPT_TOKENS",
+    "FIELD_SEPARATOR",
+    "PromptTemplates",
+    "wrap_alarm_log",
+    "wrap_attribute",
+    "wrap_config",
+    "wrap_document_sentence",
+    "wrap_entity",
+    "wrap_kpi_log",
+    "wrap_log_record",
+    "wrap_signaling",
+    "wrap_triple",
+]

@@ -1,0 +1,46 @@
+"""Caching wrapper for embedding providers.
+
+Task harnesses query the same target names many times (folds, repeated
+experiments, ablations); :class:`CachedProvider` memoises per-name vectors so
+the underlying PLM encodes each distinct name exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.service.providers import EmbeddingProvider
+
+
+class CachedProvider(EmbeddingProvider):
+    """Memoising decorator around any :class:`EmbeddingProvider`."""
+
+    def __init__(self, inner: EmbeddingProvider):
+        self.inner = inner
+        self.label = inner.label
+        self.dim = inner.dim
+        self._cache: dict[str, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def encode_names(self, names: list[str]) -> np.ndarray:
+        missing = [n for n in names if n not in self._cache]
+        # Deduplicate while preserving order for the inner call.
+        unique_missing = list(dict.fromkeys(missing))
+        if unique_missing:
+            vectors = self.inner.encode_names(unique_missing)
+            for name, vector in zip(unique_missing, vectors):
+                self._cache[name] = vector
+        self.misses += len(unique_missing)
+        self.hits += len(names) - len(unique_missing)
+        return np.stack([self._cache[n] for n in names])
+
+    def clear(self) -> None:
+        """Drop the cache (e.g. after further training of the inner model)."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,5 @@
+"""The three fault-analysis tasks (Sec. V): RCA, EAP, FCT."""
+
+from repro.tasks import eap, fct, rca
+
+__all__ = ["eap", "fct", "rca"]

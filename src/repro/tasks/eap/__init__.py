@@ -1,0 +1,14 @@
+"""Event association prediction (Sec. V-C): pairwise trigger classification."""
+
+from repro.tasks.eap.data import EapDataset, EventPair, build_eap_dataset
+from repro.tasks.eap.model import EapModel
+from repro.tasks.eap.experiment import EapExperiment, EapResult
+
+__all__ = [
+    "EapDataset",
+    "EapExperiment",
+    "EapModel",
+    "EapResult",
+    "EventPair",
+    "build_eap_dataset",
+]

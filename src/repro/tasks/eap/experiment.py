@@ -1,0 +1,91 @@
+"""EAP experiment harness: 5-fold CV, Accuracy/P/R/F1 (Table VI protocol)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.classification import (
+    ClassificationMetrics,
+    classification_metrics,
+)
+from repro.evaluation.kfold import k_fold_splits
+from repro.nn.optim import Adam
+from repro.service.providers import EmbeddingProvider
+from repro.tasks.eap.data import EapDataset
+from repro.tasks.eap.model import EapModel
+
+
+@dataclass
+class EapResult:
+    """Averaged cross-validation result for one method."""
+
+    label: str
+    metrics: ClassificationMetrics
+
+    def as_table_row(self) -> dict[str, float]:
+        return {
+            "Accuracy": 100.0 * self.metrics.accuracy,
+            "Precision": 100.0 * self.metrics.precision,
+            "Recall": 100.0 * self.metrics.recall,
+            "F1-score": 100.0 * self.metrics.f1,
+        }
+
+
+class EapExperiment:
+    """Runs the full EAP protocol for one embedding provider."""
+
+    def __init__(self, dataset: EapDataset, seed: int = 0,
+                 num_folds: int = 5, epochs: int = 8, batch_size: int = 32,
+                 learning_rate: float = 0.01, node_dim: int = 8):
+        self.dataset = dataset
+        self.seed = seed
+        self.num_folds = num_folds
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.node_dim = node_dim
+
+    def run(self, provider: EmbeddingProvider) -> EapResult:
+        """5-fold CV over pairs; metrics pooled over all test folds."""
+        pairs = self.dataset.pairs
+        # Encode every distinct literal name once.
+        names = sorted({p.name_i for p in pairs} | {p.name_j for p in pairs})
+        name_vectors = provider.encode_names(names)
+        # Level the feature scale across providers.
+        name_vectors = name_vectors / np.maximum(
+            np.linalg.norm(name_vectors, axis=1, keepdims=True), 1e-12)
+        lookup = {n: name_vectors[i] for i, n in enumerate(names)}
+        text_i = np.stack([lookup[p.name_i] for p in pairs])
+        text_j = np.stack([lookup[p.name_j] for p in pairs])
+
+        splits = k_fold_splits(len(pairs), self.num_folds,
+                               rng=np.random.default_rng(self.seed))
+        predictions = np.zeros(len(pairs), dtype=int)
+        evaluated = np.zeros(len(pairs), dtype=bool)
+        for fold_number, split in enumerate(splits):
+            rng = np.random.default_rng(self.seed + 300 + fold_number)
+            model = EapModel(self.dataset, text_i.shape[1], rng,
+                             node_dim=self.node_dim)
+            optimizer = Adam(model.parameters(), lr=self.learning_rate)
+            train_index = np.concatenate([split.train, split.valid])
+            for _ in range(self.epochs):
+                order = rng.permutation(train_index)
+                for start in range(0, len(order), self.batch_size):
+                    batch_index = order[start:start + self.batch_size]
+                    batch = [pairs[i] for i in batch_index]
+                    optimizer.zero_grad()
+                    loss = model.loss(batch, text_i[batch_index],
+                                      text_j[batch_index])
+                    loss.backward()
+                    optimizer.step()
+            test_batch = [pairs[i] for i in split.test]
+            predictions[split.test] = model.predict(
+                test_batch, text_i[split.test], text_j[split.test])
+            evaluated[split.test] = True
+
+        labels = np.array([p.label for p in pairs])
+        metrics = classification_metrics(predictions[evaluated],
+                                         labels[evaluated])
+        return EapResult(label=provider.label, metrics=metrics)

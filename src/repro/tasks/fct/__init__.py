@@ -1,0 +1,11 @@
+"""Fault chain tracing (Sec. V-D): uncertain-KG link prediction over alarms."""
+
+from repro.tasks.fct.data import FctDataset, build_fct_dataset
+from repro.tasks.fct.experiment import FctExperiment, FctResult
+
+__all__ = [
+    "FctDataset",
+    "FctExperiment",
+    "FctResult",
+    "build_fct_dataset",
+]

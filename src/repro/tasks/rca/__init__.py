@@ -1,0 +1,18 @@
+"""Root-cause analysis (Sec. V-B): node ranking on system-state graphs."""
+
+from repro.tasks.rca.data import RcaDataset, RcaState, build_rca_dataset
+from repro.tasks.rca.model import GcnLayer, RcaModel
+from repro.tasks.rca.gat import GatRcaModel, GraphAttentionLayer
+from repro.tasks.rca.experiment import RcaExperiment, RcaResult
+
+__all__ = [
+    "GatRcaModel",
+    "GcnLayer",
+    "GraphAttentionLayer",
+    "RcaDataset",
+    "RcaExperiment",
+    "RcaModel",
+    "RcaResult",
+    "RcaState",
+    "build_rca_dataset",
+]

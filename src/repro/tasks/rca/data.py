@@ -1,0 +1,107 @@
+"""RCA dataset: system states with abnormal-event features and root labels.
+
+Each fault episode yields one *state* (Sec. V-B1): the telecom system as a
+graph ``G = (V, E, X)`` where ``X[i, j]`` counts occurrences of abnormal
+event ``j`` on network element ``i`` during the state's time slot, labelled
+with the ground-truth root-cause node.  Table III's statistics (#Graphs,
+#Features, avg #Nodes, avg #Edges) come from :meth:`RcaDataset.describe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.world.episodes import FaultEpisode
+from repro.world.world import TelecomWorld
+
+
+@dataclass
+class RcaState:
+    """One system state (graph + features + root label)."""
+
+    node_names: list[str]
+    adjacency: np.ndarray       # (V, V) symmetric 0/1
+    features: np.ndarray        # (V, n) abnormal-event counts
+    root_index: int
+
+    def __post_init__(self):
+        v = len(self.node_names)
+        if self.adjacency.shape != (v, v):
+            raise ValueError("adjacency shape mismatch")
+        if self.features.shape[0] != v:
+            raise ValueError("features row count mismatch")
+        if not 0 <= self.root_index < v:
+            raise ValueError("root index outside node range")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.adjacency.sum() // 2)
+
+    def normalized_adjacency(self) -> np.ndarray:
+        """``D̃^{-1/2} Ã D̃^{-1/2}`` with self-loops (Eq. 14)."""
+        a_tilde = self.adjacency + np.eye(self.num_nodes)
+        degree = a_tilde.sum(axis=1)
+        d_inv_sqrt = 1.0 / np.sqrt(degree)
+        return a_tilde * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
+
+
+@dataclass
+class RcaDataset:
+    """All states plus the shared abnormal-event catalog."""
+
+    states: list[RcaState]
+    event_names: list[str]   # feature column j <-> this event surface
+
+    @property
+    def num_features(self) -> int:
+        return len(self.event_names)
+
+    def describe(self) -> dict[str, float]:
+        """Table III row: #Graphs, #Features, avg #Nodes, avg #Edges."""
+        return {
+            "graphs": len(self.states),
+            "features": self.num_features,
+            "avg_nodes": float(np.mean([s.num_nodes for s in self.states])),
+            "avg_edges": float(np.mean([s.num_edges for s in self.states])),
+        }
+
+
+def build_rca_dataset(world: TelecomWorld,
+                      episodes: list[FaultEpisode]) -> RcaDataset:
+    """Convert fault episodes into RCA states.
+
+    The feature set is the full event catalog (alarms + KPIs); counts include
+    every abnormal record of the episode.  Only episodes whose root node
+    carries at least one record become states (mirrors how real states are
+    collected when abnormal events occur).
+    """
+    events = world.ontology.events
+    event_index = {e.uid: j for j, e in enumerate(events)}
+    nodes = world.topology.nodes
+    node_index = {n: i for i, n in enumerate(nodes)}
+    adjacency = world.topology.adjacency_matrix(nodes)
+
+    states: list[RcaState] = []
+    for episode in episodes:
+        features = np.zeros((len(nodes), len(events)))
+        for record in episode.records:
+            if record.kind == "kpi" and record.event_uid not in \
+                    {u for pair in episode.fired_edges for u in pair}:
+                continue  # background normal KPI readings are not abnormal
+            row = node_index.get(record.node)
+            col = event_index.get(record.event_uid)
+            if row is None or col is None:
+                continue
+            features[row, col] += 1.0
+        root = node_index.get(episode.root_node)
+        if root is None or features[root].sum() == 0:
+            continue
+        states.append(RcaState(node_names=list(nodes), adjacency=adjacency,
+                               features=features, root_index=root))
+    return RcaDataset(states=states, event_names=[e.name for e in events])

@@ -1,0 +1,45 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This package is the compute substrate for the whole reproduction: the paper's
+models were built on PyTorch, which is unavailable here, so ``repro.tensor``
+provides the minimal-but-complete autograd engine that ``repro.nn`` layers,
+the ANEnc numeric encoder, the BERT/ELECTRA pre-training stack, the GCN used
+for root-cause analysis, and the KGE models are written against.
+
+The public surface mirrors a small subset of ``torch``:
+
+* :class:`Tensor` — an ndarray with a ``grad`` slot and a ``backward`` method.
+* :func:`tensor` / :func:`zeros` / :func:`ones` / :func:`randn` — constructors.
+* ``repro.tensor.functional`` — composite ops (softmax, layer_norm, gelu, ...).
+* :func:`no_grad` — context manager disabling graph construction.
+"""
+
+from repro.tensor.tensor import (
+    Tensor,
+    concat,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    ones_like,
+    randn,
+    stack,
+    tensor,
+    zeros,
+    zeros_like,
+)
+from repro.tensor import functional
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "functional",
+    "is_grad_enabled",
+    "no_grad",
+    "ones",
+    "ones_like",
+    "randn",
+    "stack",
+    "tensor",
+    "zeros",
+    "zeros_like",
+]

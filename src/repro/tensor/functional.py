@@ -1,0 +1,151 @@
+"""Composite differentiable operations built from :class:`~repro.tensor.Tensor` primitives.
+
+These are written as compositions of the primitive ops in
+``repro.tensor.tensor`` so that their gradients come for free from the
+autograd engine; only numerically delicate pieces (softmax, log-softmax) use
+the usual max-subtraction stabilisation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, concat, stack  # noqa: F401 (re-export)
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit (delegates to the primitive op)."""
+    return x.relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as in BERT)."""
+    inner = (x + x * x * x * 0.044715) * _SQRT_2_OVER_PI
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid (delegates to the primitive op)."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent (delegates to the primitive op)."""
+    return x.tanh()
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centred = x - mean
+    variance = (centred * centred).mean(axis=-1, keepdims=True)
+    normalised = centred / (variance + eps).sqrt()
+    return normalised * weight + bias
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate`` is 0."""
+    if not training or rate <= 0.0:
+        return x
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    return x * Tensor(mask)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: int | None = None) -> Tensor:
+    """Mean cross-entropy between ``logits`` (..., C) and integer ``targets``.
+
+    Positions equal to ``ignore_index`` contribute nothing to the loss (useful
+    for the MLM objective where only masked positions are predicted).
+    """
+    targets = np.asarray(targets)
+    num_classes = logits.shape[-1]
+    flat_logits = logits.reshape(-1, num_classes)
+    flat_targets = targets.reshape(-1)
+
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+        if not keep.any():
+            return Tensor(0.0)
+        flat_logits = flat_logits[np.nonzero(keep)[0]]
+        flat_targets = flat_targets[keep]
+
+    log_probs = log_softmax(flat_logits, axis=-1)
+    picked = log_probs[np.arange(flat_targets.shape[0]), flat_targets]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
+                                     weight: np.ndarray | None = None) -> Tensor:
+    """Mean BCE on raw logits, computed via the stable log-sum-exp form.
+
+    ``loss = max(z, 0) - z*y + log(1 + exp(-|z|))``
+    """
+    targets_t = Tensor(np.asarray(targets, dtype=logits.dtype))
+    zeros = Tensor(np.zeros_like(logits.data))
+    positive_part = stack([logits, zeros], axis=0).max(axis=0)
+    log_term = ((-(logits.abs())).exp() + 1.0).log()
+    loss = positive_part - logits * targets_t + log_term
+    if weight is not None:
+        loss = loss * Tensor(np.asarray(weight, dtype=logits.dtype))
+    return loss.mean()
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray | Tensor) -> Tensor:
+    """Mean squared error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1,
+                      eps: float = 1e-8) -> Tensor:
+    """Cosine similarity along ``axis``; broadcasting follows numpy rules."""
+    dot = (a * b).sum(axis=axis)
+    norm_a = ((a * a).sum(axis=axis) + eps).sqrt()
+    norm_b = ((b * b).sum(axis=axis) + eps).sqrt()
+    return dot / (norm_a * norm_b)
+
+
+def l2_norm(x: Tensor, axis: int = -1, eps: float = 0.0) -> Tensor:
+    """Euclidean norm along ``axis``."""
+    return ((x * x).sum(axis=axis) + eps).sqrt()
+
+
+def masked_mean(x: Tensor, mask: np.ndarray, axis: int = 1) -> Tensor:
+    """Mean of ``x`` over ``axis`` counting only positions where ``mask`` is 1.
+
+    ``x`` is (B, T, D) and ``mask`` (B, T) in the usual sequence-pooling case.
+    """
+    mask = np.asarray(mask, dtype=x.dtype)
+    expanded = Tensor(mask[..., None])
+    total = (x * expanded).sum(axis=axis)
+    counts = Tensor(np.maximum(mask.sum(axis=axis, keepdims=True), 1.0))
+    return total / counts
+
+
+def attention_scores_mask(mask: np.ndarray, dtype=np.float64) -> np.ndarray:
+    """Convert a (B, T) validity mask into an additive (B, 1, 1, T) bias."""
+    mask = np.asarray(mask)
+    bias = np.where(mask > 0, 0.0, -1e9).astype(dtype)
+    return bias[:, None, None, :]

@@ -1,0 +1,58 @@
+"""Numerical gradient checking used by the test-suite.
+
+Central-difference estimation against the analytic gradients produced by the
+autograd engine.  Kept inside the library (rather than the tests) so other
+projects embedding ``repro.tensor`` can validate custom ops the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                       index: int, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*inputs)`` w.r.t. ``inputs[index]``."""
+    base = inputs[index].data
+    grad = np.zeros_like(base)
+    flat = base.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data)
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                    atol: float = 1e-5, rtol: float = 1e-4,
+                    eps: float = 1e-6) -> None:
+    """Assert the analytic gradients of scalar ``fn(*inputs)`` match numerics.
+
+    Raises ``AssertionError`` listing the worst mismatch when a gradient is
+    outside tolerance.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    if out.data.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued function")
+    out.backward()
+    for idx, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        expected = numerical_gradient(fn, inputs, idx, eps=eps)
+        actual = t.grad if t.grad is not None else np.zeros_like(t.data)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.abs(actual - expected).max()
+            raise AssertionError(
+                f"gradient mismatch for input {idx}: max abs err {worst:.3e}\n"
+                f"analytic:\n{actual}\nnumeric:\n{expected}")

@@ -1,0 +1,27 @@
+"""Tokenization substrate: vocabulary, BPE, tele special tokens, WWM.
+
+The paper (Sec. III-B, IV-A3) tokenizes Chinese/English telecom text with a
+MacBERT wordpiece vocabulary extended by (a) prompt tokens (``[ALM]``,
+``[KPI]``, ...) and (b) tele special tokens mined with BPE (character length
+2–4, corpus frequency above a threshold, absent from the base vocabulary —
+e.g. "RAN", "MML", "PGW").  Our synthetic corpus is ASCII telecom jargon, so
+the base segmentation is word-level with punctuation splitting, while BPE is
+used exactly as in the paper to *mine* the special-token collection, and the
+whole-word-masking segmenter plays the role of the LTP word segmenter.
+"""
+
+from repro.tokenization.vocab import Vocab
+from repro.tokenization.bpe import BpeCodec, learn_bpe, mine_special_tokens
+from repro.tokenization.tokenizer import Encoding, WordTokenizer, basic_tokenize
+from repro.tokenization.wwm import WholeWordSegmenter
+
+__all__ = [
+    "BpeCodec",
+    "Encoding",
+    "Vocab",
+    "WholeWordSegmenter",
+    "WordTokenizer",
+    "basic_tokenize",
+    "learn_bpe",
+    "mine_special_tokens",
+]

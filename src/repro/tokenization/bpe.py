@@ -1,0 +1,135 @@
+"""Byte-pair encoding (Sennrich et al. 2016) and tele special-token mining.
+
+The paper (Sec. IV-A3) runs BPE over the Tele-Corpus and keeps learned symbols
+that (i) are 2–4 characters long and (ii) occur at least a threshold number of
+times while being absent from the base vocabulary — these are overwhelmingly
+domain abbreviations ("RAN", "MML", "PGW", "MME", "SGW", "NF") and become
+special tokens of KTeleBERT.  :func:`mine_special_tokens` implements exactly
+that filter.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+END_OF_WORD = "</w>"
+
+
+def _word_to_symbols(word: str) -> tuple[str, ...]:
+    return tuple(word) + (END_OF_WORD,)
+
+
+def _pair_counts(vocab: dict[tuple[str, ...], int]) -> Counter:
+    pairs: Counter = Counter()
+    for symbols, freq in vocab.items():
+        for a, b in zip(symbols, symbols[1:]):
+            pairs[(a, b)] += freq
+    return pairs
+
+
+def _merge_pair(symbols: tuple[str, ...], pair: tuple[str, str]) -> tuple[str, ...]:
+    merged: list[str] = []
+    i = 0
+    while i < len(symbols):
+        if i + 1 < len(symbols) and (symbols[i], symbols[i + 1]) == pair:
+            merged.append(symbols[i] + symbols[i + 1])
+            i += 2
+        else:
+            merged.append(symbols[i])
+            i += 1
+    return tuple(merged)
+
+
+def learn_bpe(words: Iterable[str], num_merges: int) -> list[tuple[str, str]]:
+    """Learn up to ``num_merges`` BPE merges from an iterable of words.
+
+    Returns the ordered merge list; ties are broken deterministically by the
+    lexicographic order of the pair so results are reproducible.
+    """
+    word_counts = Counter(words)
+    vocab: dict[tuple[str, ...], int] = {
+        _word_to_symbols(w): c for w, c in word_counts.items()}
+    merges: list[tuple[str, str]] = []
+    for _ in range(num_merges):
+        pairs = _pair_counts(vocab)
+        if not pairs:
+            break
+        best_count = max(pairs.values())
+        if best_count < 2:
+            break
+        best = min(p for p, c in pairs.items() if c == best_count)
+        merges.append(best)
+        vocab = {_merge_pair(symbols, best): freq
+                 for symbols, freq in vocab.items()}
+    return merges
+
+
+class BpeCodec:
+    """Apply a learned merge list to segment words into subword symbols."""
+
+    def __init__(self, merges: Sequence[tuple[str, str]]):
+        self.merges = list(merges)
+        self._rank = {pair: i for i, pair in enumerate(self.merges)}
+
+    def segment(self, word: str) -> list[str]:
+        """Split ``word`` into BPE symbols (end-of-word marker stripped)."""
+        symbols = list(_word_to_symbols(word))
+        while len(symbols) > 1:
+            candidate = None
+            candidate_rank = None
+            for a, b in zip(symbols, symbols[1:]):
+                rank = self._rank.get((a, b))
+                if rank is not None and (candidate_rank is None or rank < candidate_rank):
+                    candidate, candidate_rank = (a, b), rank
+            if candidate is None:
+                break
+            symbols = list(_merge_pair(tuple(symbols), candidate))
+        cleaned = []
+        for symbol in symbols:
+            symbol = symbol.replace(END_OF_WORD, "")
+            if symbol:
+                cleaned.append(symbol)
+        return cleaned
+
+    def learned_symbols(self) -> set[str]:
+        """All multi-character symbols the merge list can produce."""
+        symbols = set()
+        for a, b in self.merges:
+            symbols.add((a + b).replace(END_OF_WORD, ""))
+        symbols.discard("")
+        return symbols
+
+
+def mine_special_tokens(sentences: Iterable[Sequence[str]],
+                        base_vocabulary: Iterable[str],
+                        min_length: int = 2, max_length: int = 4,
+                        min_frequency: int = 10,
+                        num_merges: int = 2000) -> list[str]:
+    """Mine tele special tokens per Sec. IV-A3.
+
+    Runs BPE over the corpus words, then keeps learned symbols whose character
+    length is in ``[min_length, max_length]``, whose corpus frequency (as a
+    standalone word) is at least ``min_frequency``, and which are not in the
+    base vocabulary.  Ordered by descending frequency then alphabetically.
+    """
+    base = set(base_vocabulary)
+    word_counts: Counter = Counter()
+    for sentence in sentences:
+        word_counts.update(sentence)
+
+    codec = BpeCodec(learn_bpe(word_counts.elements(), num_merges))
+    learned = codec.learned_symbols()
+
+    candidates = []
+    for symbol in learned:
+        if not min_length <= len(symbol) <= max_length:
+            continue
+        if symbol in base:
+            continue
+        freq = word_counts.get(symbol, 0)
+        if freq < min_frequency:
+            continue
+        candidates.append((symbol, freq))
+    candidates.sort(key=lambda item: (-item[1], item[0]))
+    return [symbol for symbol, _ in candidates]

@@ -1,0 +1,47 @@
+"""Training infrastructure: dynamic masking, batching, MTL strategies.
+
+* :mod:`repro.training.masking` — RoBERTa-style dynamic masking with the
+  40% rate and whole-word masking of Sec. IV-C.
+* :mod:`repro.training.batching` — deterministic shuffled mini-batching.
+* :mod:`repro.training.mtl` — the STL / PMTL / IMTL schedules of Table II.
+"""
+
+from repro.training.masking import DynamicMasker, MaskedBatch
+from repro.training.batching import BatchIterator
+from repro.training.mtl import (
+    MtlStrategy,
+    TrainingPhase,
+    build_strategy,
+    IMTL_SCHEDULE,
+)
+# stage2 / retrainer depend on repro.models (which itself imports the leaf
+# modules of this package), so they are loaded lazily to avoid a cycle.
+_LAZY = {
+    "Stage2Data": ("repro.training.stage2", "Stage2Data"),
+    "build_stage2_data": ("repro.training.stage2", "build_stage2_data"),
+    "KTeleBertRetrainer": ("repro.training.retrainer", "KTeleBertRetrainer"),
+    "RetrainingLog": ("repro.training.retrainer", "RetrainingLog"),
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro.training' has no attribute {name!r}")
+
+__all__ = [
+    "BatchIterator",
+    "DynamicMasker",
+    "IMTL_SCHEDULE",
+    "KTeleBertRetrainer",
+    "MaskedBatch",
+    "MtlStrategy",
+    "RetrainingLog",
+    "Stage2Data",
+    "TrainingPhase",
+    "build_stage2_data",
+    "build_strategy",
+]

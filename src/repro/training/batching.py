@@ -1,0 +1,51 @@
+"""Deterministic shuffled mini-batching over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+class BatchIterator:
+    """Cycles over a dataset in shuffled mini-batches.
+
+    ``next_batch`` never raises StopIteration — when the epoch is exhausted it
+    reshuffles and continues, which matches step-based (rather than
+    epoch-based) pre-training loops.
+    """
+
+    def __init__(self, items: Sequence, batch_size: int,
+                 rng: np.random.Generator, shuffle: bool = True):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if len(items) == 0:
+            raise ValueError("empty dataset")
+        self.items = list(items)
+        self.batch_size = batch_size
+        self.rng = rng
+        self.shuffle = shuffle
+        self._order = np.arange(len(self.items))
+        self._cursor = len(self.items)  # force reshuffle on first batch
+        self.epochs_completed = -1
+
+    def _reshuffle(self) -> None:
+        if self.shuffle:
+            self.rng.shuffle(self._order)
+        self._cursor = 0
+        self.epochs_completed += 1
+
+    def next_batch(self) -> list:
+        """Return the next mini-batch (size may shrink at epoch boundary)."""
+        if self._cursor >= len(self.items):
+            self._reshuffle()
+        end = min(self._cursor + self.batch_size, len(self.items))
+        batch = [self.items[i] for i in self._order[self._cursor:end]]
+        self._cursor = end
+        return batch
+
+    def __iter__(self) -> Iterator[list]:
+        """Iterate over exactly one epoch of batches."""
+        self._reshuffle()
+        while self._cursor < len(self.items):
+            yield self.next_batch()

@@ -1,0 +1,124 @@
+"""Dynamic masking with whole-word masking and elevated rates (Sec. IV-C).
+
+The masker re-samples the mask pattern on every call (RoBERTa dynamic
+masking) and masks *whole words* when a segmenter is provided (MacBERT WWM;
+the LTP role is played by :class:`repro.tokenization.WholeWordSegmenter`).
+The re-training stage uses a 40% rate instead of BERT's 15% (Wettig et al.).
+Prompt special tokens and numeric-value positions are excluded from the
+target candidates (Sec. IV-C), as are padding / ``[CLS]`` / ``[SEP]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tokenization.vocab import Vocab
+from repro.tokenization.wwm import WholeWordSegmenter
+
+IGNORE_INDEX = -100
+
+
+@dataclass
+class MaskedBatch:
+    """Masked inputs with MLM labels."""
+
+    ids: np.ndarray      # (B, T) corrupted input ids
+    labels: np.ndarray   # (B, T) original ids at masked slots, else IGNORE
+    mask_positions: np.ndarray  # (B, T) bool, True where masked
+
+    @property
+    def num_masked(self) -> int:
+        return int(self.mask_positions.sum())
+
+
+class DynamicMasker:
+    """BERT-style 80/10/10 corruption over whole-word units."""
+
+    def __init__(self, vocab: Vocab, rng: np.random.Generator,
+                 masking_rate: float = 0.4,
+                 segmenter: WholeWordSegmenter | None = None,
+                 mask_token_prob: float = 0.8,
+                 random_token_prob: float = 0.1):
+        if not 0.0 < masking_rate < 1.0:
+            raise ValueError(f"masking_rate must be in (0,1), got {masking_rate}")
+        if mask_token_prob + random_token_prob > 1.0:
+            raise ValueError("mask/random probabilities exceed 1")
+        self.vocab = vocab
+        self.rng = rng
+        self.masking_rate = masking_rate
+        self.segmenter = segmenter
+        self.mask_token_prob = mask_token_prob
+        self.random_token_prob = random_token_prob
+
+    @property
+    def _special_ids(self) -> set[int]:
+        # Recomputed on access: the vocabulary may grow special tokens after
+        # the masker is constructed (Sec. IV-A3).
+        return self.vocab.special_ids()
+
+    # ------------------------------------------------------------------
+    def _candidate_units(self, row_ids: np.ndarray, row_mask: np.ndarray,
+                         row_tokens: list[str] | None,
+                         excluded: set[int]) -> list[list[int]]:
+        """Maskable whole-word units for one sequence."""
+        length = int(row_mask.sum())
+        valid = [i for i in range(length)
+                 if int(row_ids[i]) not in self._special_ids
+                 and i not in excluded]
+        if self.segmenter is not None and row_tokens is not None:
+            groups = self.segmenter.segment(row_tokens[:length])
+            units = []
+            for group in groups:
+                kept = [i for i in group if i in valid]
+                if kept:
+                    units.append(kept)
+            return units
+        return [[i] for i in valid]
+
+    def mask_batch(self, ids: np.ndarray, attention_mask: np.ndarray,
+                   tokens: list[list[str]] | None = None,
+                   excluded_positions: list[set[int]] | None = None) -> MaskedBatch:
+        """Corrupt a padded batch; returns inputs + labels.
+
+        ``tokens`` enables WWM grouping (per-row token lists including
+        ``[CLS]``/``[SEP]``); ``excluded_positions`` removes extra per-row
+        positions (numeric values) from the candidates.
+        """
+        ids = np.asarray(ids)
+        attention_mask = np.asarray(attention_mask)
+        out_ids = ids.copy()
+        labels = np.full_like(ids, IGNORE_INDEX)
+        masked = np.zeros(ids.shape, dtype=bool)
+        special = self._special_ids
+        replacement_pool = np.array(
+            [i for i in range(len(self.vocab)) if i not in special],
+            dtype=np.int64)
+
+        for row in range(ids.shape[0]):
+            row_excluded = excluded_positions[row] if excluded_positions else set()
+            row_tokens = tokens[row] if tokens is not None else None
+            units = self._candidate_units(ids[row], attention_mask[row],
+                                          row_tokens, row_excluded)
+            if not units:
+                continue
+            total_positions = sum(len(u) for u in units)
+            target = max(1, int(round(total_positions * self.masking_rate)))
+            order = self.rng.permutation(len(units))
+            chosen: list[int] = []
+            for unit_index in order:
+                if len(chosen) >= target:
+                    break
+                chosen.extend(units[unit_index])
+            for position in chosen:
+                labels[row, position] = ids[row, position]
+                masked[row, position] = True
+                roll = self.rng.random()
+                if roll < self.mask_token_prob:
+                    out_ids[row, position] = self.vocab.mask_id
+                elif roll < self.mask_token_prob + self.random_token_prob:
+                    out_ids[row, position] = int(replacement_pool[
+                        self.rng.integers(len(replacement_pool))])
+                # else: keep original token (10% case)
+        return MaskedBatch(ids=out_ids, labels=labels, mask_positions=masked)

@@ -1,0 +1,104 @@
+"""Multi-task training strategies for stage-2 re-training (Sec. IV-E, Table II).
+
+Three strategies are compared in the paper, with a unified total step budget:
+
+* **STL** — single-task: masking reconstruction only
+  (objective ``L_num + L_mask``).
+* **PMTL** — cooperative parallel: every step sums the losses of all tasks
+  (``L_num + L_mask + L_ke``).
+* **IMTL** — iterative (ERNIE2-style continual multi-task): staged schedule
+  that first learns masking, then focuses on knowledge embedding, then
+  rehearses both to avoid forgetting — Table II's three-stage split.
+
+A strategy answers one question per step: *which task losses are active now*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Task identifiers.
+TASK_MASK = "mask"    # masking reconstruction (implies L_num on numeric rows)
+TASK_KE = "ke"        # knowledge embedding
+
+#: IMTL stage fractions (mirrors Table II's 40k/10k/10k MR + 40k/20k KE split
+#: of a 60k-step budget: stage 1 MR only, stage 2 KE-heavy, stage 3 both).
+IMTL_SCHEDULE: tuple[tuple[frozenset, float], ...] = (
+    (frozenset({TASK_MASK}), 0.4),
+    (frozenset({TASK_KE}), 0.35),
+    (frozenset({TASK_MASK, TASK_KE}), 0.25),
+)
+
+
+@dataclass(frozen=True)
+class TrainingPhase:
+    """A contiguous block of steps with a fixed active-task set."""
+
+    tasks: frozenset
+    start: int
+    end: int  # exclusive
+
+    def __contains__(self, step: int) -> bool:
+        return self.start <= step < self.end
+
+
+class MtlStrategy:
+    """Resolved step→tasks schedule."""
+
+    def __init__(self, name: str, phases: list[TrainingPhase], total_steps: int):
+        if not phases:
+            raise ValueError("strategy needs at least one phase")
+        if phases[0].start != 0 or phases[-1].end != total_steps:
+            raise ValueError("phases must cover [0, total_steps)")
+        for previous, current in zip(phases, phases[1:]):
+            if previous.end != current.start:
+                raise ValueError("phases must be contiguous")
+        self.name = name
+        self.phases = phases
+        self.total_steps = total_steps
+
+    def tasks_at(self, step: int) -> frozenset:
+        """The active task set for a step index."""
+        if not 0 <= step < self.total_steps:
+            raise IndexError(f"step {step} outside [0, {self.total_steps})")
+        for phase in self.phases:
+            if step in phase:
+                return phase.tasks
+        raise AssertionError("unreachable: phases cover the whole range")
+
+    def uses_ke(self) -> bool:
+        return any(TASK_KE in p.tasks for p in self.phases)
+
+
+def build_strategy(name: str, total_steps: int) -> MtlStrategy:
+    """Construct one of the paper's strategies: ``stl``, ``pmtl``, ``imtl``."""
+    if total_steps < 1:
+        raise ValueError("total_steps must be >= 1")
+    key = name.lower()
+    if key == "stl":
+        phases = [TrainingPhase(frozenset({TASK_MASK}), 0, total_steps)]
+    elif key == "pmtl":
+        phases = [TrainingPhase(frozenset({TASK_MASK, TASK_KE}),
+                                0, total_steps)]
+    elif key == "imtl":
+        phases = []
+        cursor = 0
+        for i, (tasks, fraction) in enumerate(IMTL_SCHEDULE):
+            if i == len(IMTL_SCHEDULE) - 1:
+                end = total_steps
+            else:
+                end = min(cursor + max(1, int(round(total_steps * fraction))),
+                          total_steps)
+            if end > cursor:
+                phases.append(TrainingPhase(tasks, cursor, end))
+                cursor = end
+        if cursor < total_steps:
+            phases.append(TrainingPhase(IMTL_SCHEDULE[-1][0], cursor,
+                                        total_steps))
+        # Merge trailing degenerate coverage if rounding left a gap.
+        phases[-1] = TrainingPhase(phases[-1].tasks, phases[-1].start,
+                                   total_steps)
+    else:
+        raise ValueError(f"unknown strategy: {name!r} "
+                         "(expected stl / pmtl / imtl)")
+    return MtlStrategy(key, phases, total_steps)

@@ -1,0 +1,98 @@
+"""Stage-2 re-training loop (Sec. IV-E).
+
+Runs a :class:`~repro.training.mtl.MtlStrategy` over the stage-2 datasets:
+each step activates the strategy's task set — masking reconstruction (which
+carries `L_num` on numeric rows) and/or knowledge embedding — sums the active
+losses, and updates all parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.ktelebert import KTeleBert
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.training.batching import BatchIterator
+from repro.training.masking import DynamicMasker
+from repro.training.mtl import MtlStrategy, TASK_KE, TASK_MASK
+from repro.training.stage2 import Stage2Data
+
+
+@dataclass
+class RetrainingLog:
+    """Per-step loss history of a stage-2 run."""
+
+    total: list[float] = field(default_factory=list)
+    mask: list[float] = field(default_factory=list)
+    ke: list[float] = field(default_factory=list)
+    numeric_regression: list[float] = field(default_factory=list)
+
+
+class KTeleBertRetrainer:
+    """Owns the optimizer, batching, and strategy schedule for stage 2."""
+
+    def __init__(self, model: KTeleBert, data: Stage2Data,
+                 strategy: MtlStrategy, seed: int = 0,
+                 learning_rate: float = 1e-3, batch_size: int = 8,
+                 ke_batch_size: int = 4, grad_clip: float = 5.0):
+        self.model = model
+        self.data = data
+        self.strategy = strategy
+        self.rng = np.random.default_rng(seed + 17)
+        self.optimizer = Adam(model.parameters(), lr=learning_rate)
+        self.grad_clip = grad_clip
+        self.masker = DynamicMasker(model.tokenizer.vocab, self.rng,
+                                    masking_rate=model.config.masking_rate)
+        self.mask_batches = BatchIterator(data.mask_rows, batch_size, self.rng)
+        self.ke_batches = (BatchIterator(data.triple_rows, ke_batch_size,
+                                         self.rng)
+                           if data.triple_rows else None)
+        self.log = RetrainingLog()
+        self._step = 0
+
+    def train_step(self) -> float:
+        """Run one step of the strategy schedule."""
+        if self._step >= self.strategy.total_steps:
+            raise RuntimeError("strategy schedule exhausted")
+        tasks = self.strategy.tasks_at(self._step)
+        self._step += 1
+        self.optimizer.zero_grad()
+
+        total = None
+        mask_value = 0.0
+        ke_value = 0.0
+        reg_value = 0.0
+        if TASK_MASK in tasks:
+            rows = self.mask_batches.next_batch()
+            loss, numeric = self.model.masked_lm_loss(rows, self.masker)
+            total = loss
+            mask_value = float(loss.data)
+            if numeric is not None:
+                reg_value = numeric.regression
+        if TASK_KE in tasks and self.ke_batches is not None:
+            triples = self.ke_batches.next_batch()
+            ke = self.model.ke_loss(triples)
+            total = ke if total is None else total + ke
+            ke_value = float(ke.data)
+        if total is None:
+            raise RuntimeError(f"no active task at step {self._step - 1}")
+
+        total.backward()
+        clip_grad_norm(self.optimizer.parameters, self.grad_clip)
+        self.optimizer.step()
+
+        value = float(total.data)
+        self.log.total.append(value)
+        self.log.mask.append(mask_value)
+        self.log.ke.append(ke_value)
+        self.log.numeric_regression.append(reg_value)
+        return value
+
+    def train(self) -> RetrainingLog:
+        """Run the full schedule."""
+        self.model.train()
+        while self._step < self.strategy.total_steps:
+            self.train_step()
+        return self.log

@@ -1,0 +1,163 @@
+"""Stage-2 data assembly: causal sentences, machine logs, and Tele-KG triples.
+
+The paper balances 434K causal sentences, 429K machine logs, and 130K triples
+(Sec. V-A2).  This module builds the same three datasets from the synthetic
+world at our scale and fits the tag normaliser over every (tag, value) pair
+that will flow through ANEnc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.causal import extract_causal_sentences
+from repro.corpus.telecorpus import TeleCorpus
+from repro.kg.graph import TeleKG
+from repro.kg.sampling import NegativeSampler
+from repro.kg.serialize import SIGNIFICANT_ATTRIBUTES
+from repro.models.ktelebert import NumericRow, TextRow, TripleRow
+from repro.numeric.normalization import TagNormalizer
+from repro.prompts.templates import (
+    wrap_attribute,
+    wrap_document_sentence,
+    wrap_log_record,
+)
+from repro.tokenization.tokenizer import basic_tokenize
+from repro.world.episodes import FaultEpisode
+
+
+@dataclass
+class Stage2Data:
+    """The three balanced re-training datasets plus numeric metadata."""
+
+    causal_rows: list[TextRow]
+    log_rows: list          # TextRow (alarms) and NumericRow (KPIs)
+    triple_rows: list[TripleRow]
+    normalizer: TagNormalizer
+    tag_names: list[str]
+
+    @property
+    def mask_rows(self) -> list:
+        """Rows that feed the masking-reconstruction task."""
+        return self.causal_rows + self.log_rows
+
+    def vocabulary(self) -> list[str]:
+        """All distinct word tokens appearing in stage-2 texts + surfaces."""
+        seen: set[str] = set()
+        ordered: list[str] = []
+        texts = [r.text for r in self.mask_rows]
+        texts += [f"{r.head} {r.relation} {r.tail}" for r in self.triple_rows]
+        for r in self.triple_rows:
+            texts += [f"{h} {t}" for h, t in r.negatives]
+        for text in texts:
+            for token in basic_tokenize(text):
+                if token not in seen:
+                    seen.add(token)
+                    ordered.append(token)
+        return ordered
+
+    def describe(self) -> dict[str, int]:
+        return {
+            "causal_sentences": len(self.causal_rows),
+            "machine_logs": len(self.log_rows),
+            "knowledge_triples": len(self.triple_rows),
+            "numeric_tags": len(self.tag_names),
+        }
+
+
+def build_stage2_data(corpus: TeleCorpus, episodes: list[FaultEpisode],
+                      kg: TeleKG, seed: int = 0,
+                      ke_negatives: int = 10,
+                      max_logs: int | None = None,
+                      max_triples: int | None = None,
+                      signaling_flows=None,
+                      config_records=None) -> Stage2Data:
+    """Assemble the stage-2 datasets.
+
+    * causal sentences — extracted from the Tele-Corpus with the Sec. IV-A1
+      rules, then prompt-wrapped as documents;
+    * machine logs — every episode record through its prompt template (KPI
+      records become :class:`NumericRow`);
+    * triples — every KG relational triple with ``ke_negatives`` filtered
+      corruptions, plus significant numeric attribute triples as NumericRows
+      in the log stream (numeric data "also lies in Tele-KG", Sec. IV-B).
+    """
+    rng = np.random.default_rng(seed + 91)
+
+    causal = extract_causal_sentences(corpus.sentences)
+    causal_rows = [TextRow(wrap_document_sentence(s)) for s in causal]
+
+    log_rows: list = []
+    tags: list[str] = []
+    values: list[float] = []
+    for episode in episodes:
+        for record in episode.records:
+            wrapped = wrap_log_record(record)
+            if record.kind == "kpi":
+                log_rows.append(NumericRow(text=wrapped, tag=record.tag,
+                                           value=float(record.value)))
+                tags.append(record.tag)
+                values.append(float(record.value))
+            else:
+                log_rows.append(TextRow(wrapped))
+
+    # Future-work data sources (Sec. IV-B): signaling flows and configuration
+    # records join the mask-reconstruction stream when provided; numeric
+    # configuration parameters flow through ANEnc like KPI values.
+    from repro.prompts.templates import wrap_config, wrap_signaling
+
+    for flow in signaling_flows or []:
+        for record in flow.records:
+            log_rows.append(TextRow(wrap_signaling(flow.procedure,
+                                                   record.render())))
+    for record in config_records or []:
+        wrapped = wrap_config(record.node, record.parameter, record.value,
+                              record.kind)
+        if record.is_numeric:
+            log_rows.append(NumericRow(text=wrapped, tag=record.parameter,
+                                       value=float(record.value)))
+            tags.append(record.parameter)
+            values.append(float(record.value))
+        else:
+            log_rows.append(TextRow(wrapped))
+
+    # Numeric attribute triples join the numeric stream.
+    for fact in kg.attributes:
+        if not fact.is_numeric or fact.attribute not in SIGNIFICANT_ATTRIBUTES:
+            continue
+        surface = kg.entity(fact.entity).surface
+        tag = f"{fact.attribute} of {surface}"
+        text = wrap_attribute(surface, fact.attribute, fact.value)
+        log_rows.append(NumericRow(text=text, tag=tag, value=float(fact.value)))
+        tags.append(tag)
+        values.append(float(fact.value))
+
+    if max_logs is not None and len(log_rows) > max_logs:
+        index = rng.choice(len(log_rows), size=max_logs, replace=False)
+        log_rows = [log_rows[i] for i in sorted(index)]
+
+    sampler = NegativeSampler(kg, rng)
+    kg_triples = kg.triples
+    if max_triples is not None and len(kg_triples) > max_triples:
+        index = rng.choice(len(kg_triples), size=max_triples, replace=False)
+        kg_triples = [kg_triples[i] for i in sorted(index)]
+    triple_rows: list[TripleRow] = []
+    for triple in kg_triples:
+        negatives = tuple(
+            (kg.entity(n.head).surface, kg.entity(n.tail).surface)
+            for n in sampler.corrupt(triple, ke_negatives))
+        triple_rows.append(TripleRow(
+            head=kg.entity(triple.head).surface,
+            relation=triple.relation,
+            tail=kg.entity(triple.tail).surface,
+            negatives=negatives))
+
+    if not values:
+        raise ValueError("stage-2 data contains no numeric observations")
+    normalizer = TagNormalizer().fit(tags, values)
+    tag_names = sorted(set(tags))
+    return Stage2Data(causal_rows=causal_rows, log_rows=log_rows,
+                      triple_rows=triple_rows, normalizer=normalizer,
+                      tag_names=tag_names)

@@ -1,0 +1,145 @@
+"""Ground-truth causal graph over catalog events.
+
+The simulator, the Tele-KG trigger relations, the product-document fault
+cases, and the downstream task labels are all views of this one graph — which
+is what makes domain pre-training transfer to the tasks.
+
+Structure: within each theme the alarms form a small DAG (root alarms trigger
+secondary alarms) and alarms disturb the theme's KPIs; a few low-probability
+cross-theme edges model faults that spill over subsystems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.world.ontology import Alarm, Kpi, TeleOntology
+
+
+@dataclass(frozen=True)
+class CausalEdge:
+    """Directed edge ``source triggers target`` with propagation probability."""
+
+    source: str  # event uid
+    target: str  # event uid
+    probability: float
+    #: expected propagation delay in seconds (exponential scale)
+    delay: float
+
+
+@dataclass
+class CausalGraph:
+    """The ground-truth trigger structure of the synthetic world."""
+
+    edges: list[CausalEdge]
+    _by_source: dict[str, list[CausalEdge]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        self._by_source = {}
+        for edge in self.edges:
+            self._by_source.setdefault(edge.source, []).append(edge)
+
+    def successors(self, uid: str) -> list[CausalEdge]:
+        """Outgoing trigger edges of an event."""
+        return self._by_source.get(uid, [])
+
+    def edge_set(self) -> set[tuple[str, str]]:
+        return {(e.source, e.target) for e in self.edges}
+
+    def has_edge(self, source: str, target: str) -> bool:
+        return (source, target) in self.edge_set()
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def roots(self) -> list[str]:
+        """Events with outgoing but no incoming edges — root-cause candidates."""
+        targets = {e.target for e in self.edges}
+        sources = {e.source for e in self.edges}
+        return sorted(sources - targets)
+
+    def is_acyclic(self) -> bool:
+        """Kahn's algorithm check; the generator must always produce a DAG."""
+        nodes = {e.source for e in self.edges} | {e.target for e in self.edges}
+        indegree = {n: 0 for n in nodes}
+        for edge in self.edges:
+            indegree[edge.target] += 1
+        queue = [n for n, d in indegree.items() if d == 0]
+        seen = 0
+        while queue:
+            node = queue.pop()
+            seen += 1
+            for edge in self.successors(node):
+                indegree[edge.target] -= 1
+                if indegree[edge.target] == 0:
+                    queue.append(edge.target)
+        return seen == len(nodes)
+
+    @classmethod
+    def generate(cls, ontology: TeleOntology, rng: np.random.Generator,
+                 cross_theme_edges: int = 6) -> "CausalGraph":
+        """Build the theme-structured trigger DAG.
+
+        Within a theme, alarms are ordered and each alarm may trigger later
+        alarms (probability drawn in [0.5, 0.95]) and each alarm disturbs a
+        subset of the theme's KPIs.  ``cross_theme_edges`` random alarm→alarm
+        edges connect distinct themes, always oriented from the lower theme
+        index to the higher so acyclicity is preserved.
+        """
+        theme_names = sorted({a.theme for a in ontology.alarms})
+        theme_alarms: dict[str, list[Alarm]] = {t: [] for t in theme_names}
+        theme_kpis: dict[str, list[Kpi]] = {t: [] for t in theme_names}
+        for alarm in ontology.alarms:
+            theme_alarms[alarm.theme].append(alarm)
+        for kpi in ontology.kpis:
+            theme_kpis.setdefault(kpi.theme, []).append(kpi)
+
+        edges: list[CausalEdge] = []
+        for theme in theme_names:
+            alarms = theme_alarms[theme]
+            kpis = theme_kpis.get(theme, [])
+            # Alarm chain: i -> j for j > i, denser for adjacent ranks.
+            for i, src in enumerate(alarms):
+                for j in range(i + 1, len(alarms)):
+                    gap = j - i
+                    if rng.random() < (0.8 if gap == 1 else 0.25):
+                        edges.append(CausalEdge(
+                            source=src.uid, target=alarms[j].uid,
+                            probability=float(rng.uniform(0.5, 0.95)),
+                            delay=float(rng.uniform(5, 60))))
+                # Alarms disturb theme KPIs.
+                for kpi in kpis:
+                    if rng.random() < 0.6:
+                        edges.append(CausalEdge(
+                            source=src.uid, target=kpi.uid,
+                            probability=float(rng.uniform(0.6, 0.95)),
+                            delay=float(rng.uniform(1, 30))))
+
+        # Cross-theme spill-over edges, lower theme index -> higher.
+        for _ in range(cross_theme_edges):
+            ti, tj = sorted(rng.choice(len(theme_names), size=2, replace=False))
+            src_pool = theme_alarms[theme_names[ti]]
+            dst_pool = theme_alarms[theme_names[tj]]
+            if not src_pool or not dst_pool:
+                continue
+            src = src_pool[int(rng.integers(len(src_pool)))]
+            dst = dst_pool[int(rng.integers(len(dst_pool)))]
+            if src.uid == dst.uid:
+                continue
+            edges.append(CausalEdge(
+                source=src.uid, target=dst.uid,
+                probability=float(rng.uniform(0.3, 0.6)),
+                delay=float(rng.uniform(20, 120))))
+
+        # De-duplicate keeping the first occurrence.
+        seen: set[tuple[str, str]] = set()
+        unique: list[CausalEdge] = []
+        for edge in edges:
+            key = (edge.source, edge.target)
+            if key not in seen:
+                seen.add(key)
+                unique.append(edge)
+        return cls(edges=unique)

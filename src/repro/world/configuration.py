@@ -1,0 +1,96 @@
+"""Configuration-data generation — the paper's declared future work.
+
+Companion of :mod:`repro.world.signaling`: per-NE configuration parameter
+records (numeric thresholds and enum settings), with fault injection for the
+``configuration`` theme (inconsistent or out-of-range entries on the broken
+node).  Numeric parameters flow into the ANEnc pipeline like KPI readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.world.episodes import FaultEpisode
+from repro.world.topology import NetworkInstance
+
+#: Parameter catalog: name -> (kind, spec).
+#: Numeric spec: (low, high) sane range; enum spec: allowed values.
+PARAMETER_CATALOG: dict[str, tuple[str, tuple]] = {
+    "max session count": ("numeric", (1000.0, 50000.0)),
+    "paging retry limit": ("numeric", (2.0, 8.0)),
+    "heartbeat interval seconds": ("numeric", (1.0, 30.0)),
+    "cpu overload threshold percent": ("numeric", (60.0, 95.0)),
+    "license grace period hours": ("numeric", (1.0, 72.0)),
+    "transport mtu bytes": ("numeric", (1200.0, 9000.0)),
+    "cipher suite": ("enum", ("aes-128", "aes-256", "snow3g", "zuc")),
+    "redundancy mode": ("enum", ("active-standby", "active-active", "none")),
+    "sctp bundling": ("enum", ("on", "off")),
+}
+
+
+@dataclass(frozen=True)
+class ConfigRecord:
+    """One configuration parameter observation on an NE instance."""
+
+    node: str
+    parameter: str
+    value: object
+    kind: str             # "numeric" | "enum"
+    consistent: bool      # False when fault-injected
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == "numeric"
+
+
+class ConfigurationGenerator:
+    """Generates per-node configuration snapshots, with fault injection."""
+
+    def __init__(self, topology: NetworkInstance, rng: np.random.Generator):
+        self.topology = topology
+        self.rng = rng
+
+    def _baseline_value(self, kind: str, spec: tuple):
+        if kind == "numeric":
+            low, high = spec
+            return float(self.rng.uniform(low, high))
+        return spec[int(self.rng.integers(len(spec)))]
+
+    def _corrupt_value(self, kind: str, spec: tuple):
+        if kind == "numeric":
+            low, high = spec
+            span = high - low
+            # Out-of-range in either direction.
+            if self.rng.random() < 0.5:
+                return float(high + self.rng.uniform(0.5, 2.0) * span)
+            return float(max(low - self.rng.uniform(0.5, 2.0) * span, 0.0))
+        return "invalid-" + str(spec[int(self.rng.integers(len(spec)))])
+
+    def snapshot(self, faulty_nodes: set[str] | None = None,
+                 corruption_probability: float = 0.5) -> list[ConfigRecord]:
+        """Full configuration of the network.
+
+        Parameters on ``faulty_nodes`` are corrupted with
+        ``corruption_probability`` each; all other records stay consistent.
+        """
+        faulty_nodes = faulty_nodes or set()
+        records: list[ConfigRecord] = []
+        for node in self.topology.nodes:
+            for parameter, (kind, spec) in PARAMETER_CATALOG.items():
+                corrupt = (node in faulty_nodes and
+                           self.rng.random() < corruption_probability)
+                value = (self._corrupt_value(kind, spec) if corrupt
+                         else self._baseline_value(kind, spec))
+                records.append(ConfigRecord(node=node, parameter=parameter,
+                                            value=value, kind=kind,
+                                            consistent=not corrupt))
+        return records
+
+    def snapshot_for_episode(self, episode: FaultEpisode,
+                             corruption_probability: float = 0.5
+                             ) -> list[ConfigRecord]:
+        """Configuration as collected during an episode's time slot."""
+        return self.snapshot(faulty_nodes={episode.root_node},
+                             corruption_probability=corruption_probability)

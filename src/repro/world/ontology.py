@@ -1,0 +1,290 @@
+"""Telecom ontology: NE types, interfaces, and generated alarm/KPI catalogs.
+
+Event names are composed from *theme* phrase pools (registration, session,
+handover, ...).  Events that belong to the same theme share surface words, so
+a language model pre-trained on documents about these events can infer that
+they are related — mirroring how real alarm names ("NF destination service is
+unreachable") textually overlap with the KPIs they disturb ("number of initial
+registration requests increases abnormally").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: 5G core / EPC network-element types with the interfaces they terminate.
+NE_TYPES: dict[str, tuple[str, ...]] = {
+    "AMF": ("N1", "N2", "N11", "N14"),
+    "SMF": ("N4", "N7", "N10", "N11"),
+    "UPF": ("N3", "N4", "N6", "N9"),
+    "UDM": ("N8", "N10", "N13"),
+    "PCF": ("N7", "N15"),
+    "NRF": ("N27",),
+    "AUSF": ("N12", "N13"),
+    "NSSF": ("N22",),
+    "MME": ("S1-MME", "S6a", "S11"),
+    "SGW": ("S1-U", "S5", "S11"),
+    "PGW": ("S5", "S8", "SGi", "Gx"),
+    "HSS": ("S6a", "Cx"),
+    "gNodeB": ("N2", "N3", "Xn"),
+    "eNodeB": ("S1-MME", "S1-U", "X2"),
+    "CSCF": ("Cx", "Mw"),
+    "DNS": ("SGi",),
+}
+
+#: All interface names, flattened.
+INTERFACES: tuple[str, ...] = tuple(sorted({
+    iface for ifaces in NE_TYPES.values() for iface in ifaces}))
+
+VENDORS: tuple[str, ...] = ("HuaXin", "NordTel", "Ericsound", "ZTEE", "Nokira")
+
+LOCATIONS: tuple[str, ...] = (
+    "Xian-DC1", "Hangzhou-DC2", "Shenzhen-POP3", "Beijing-Core1",
+    "Shanghai-Edge4", "Chengdu-DC5", "Guangzhou-POP6", "Nanjing-Core7",
+)
+
+#: Fault themes.  Each theme maps to (subject phrases, alarm faults, kpi metrics).
+THEMES: dict[str, dict[str, tuple[str, ...]]] = {
+    "registration": {
+        "subjects": ("initial registration procedure", "registration request channel",
+                     "subscriber registration service", "registration update flow"),
+        "faults": ("is unreachable", "rejects incoming requests",
+                   "times out repeatedly", "fails authentication check"),
+        "metrics": ("number of initial registration requests",
+                    "registration success rate",
+                    "registration retry count",
+                    "average registration latency"),
+    },
+    "session": {
+        "subjects": ("PDU session establishment service", "session management function",
+                     "bearer session context", "session anchor path"),
+        "faults": ("is interrupted unexpectedly", "exceeds resource quota",
+                   "drops active contexts", "rejects establishment messages"),
+        "metrics": ("5G SA session establishment success rate",
+                    "number of PDU session establishment reject messages",
+                    "active session count",
+                    "session setup delay"),
+    },
+    "handover": {
+        "subjects": ("inter-cell handover procedure", "Xn handover coordination",
+                     "handover preparation channel", "target cell admission"),
+        "faults": ("fails on target side", "is aborted by source",
+                   "loses coordination messages", "exceeds admission threshold"),
+        "metrics": ("handover success rate", "number of handover failures",
+                    "handover interruption time", "ping-pong handover count"),
+    },
+    "paging": {
+        "subjects": ("paging broadcast service", "paging occasion scheduler",
+                     "downlink paging channel", "paging retransmission logic"),
+        "faults": ("discards paging records", "is overloaded",
+                   "misses paging occasions", "duplicates paging messages"),
+        "metrics": ("paging success rate", "number of discarded paging messages",
+                    "paging response delay", "paging load ratio"),
+    },
+    "routing": {
+        "subjects": ("NF destination service", "signalling route set",
+                     "service discovery endpoint", "route selection policy"),
+        "faults": ("is unreachable", "returns stale endpoints",
+                   "flaps between peers", "advertises invalid prefixes"),
+        "metrics": ("route lookup failure count", "signalling route availability",
+                    "NF discovery latency", "number of misrouted messages"),
+    },
+    "link": {
+        "subjects": ("SCTP association link", "optical transport link",
+                     "inter-office trunk group", "control plane link set"),
+        "faults": ("is down", "experiences severe jitter",
+                   "reports CRC errors", "oscillates rapidly"),
+        "metrics": ("link availability ratio", "number of link flaps",
+                    "packet loss rate on link", "link utilisation peak"),
+    },
+    "license": {
+        "subjects": ("capacity license pool", "feature license server",
+                     "license heartbeat channel", "license usage monitor"),
+        "faults": ("has expired", "rejects activation requests",
+                   "loses server connection", "reports usage overflow"),
+        "metrics": ("license utilisation percentage", "number of license denials",
+                    "remaining license capacity", "license check latency"),
+    },
+    "hardware": {
+        "subjects": ("main processing board", "fan tray assembly",
+                     "power supply module", "line card slot"),
+        "faults": ("reports overtemperature", "has failed self-test",
+                   "is not seated correctly", "suffers voltage drop"),
+        "metrics": ("board temperature reading", "number of hardware resets",
+                    "fan rotation speed", "power draw level"),
+    },
+    "synchronisation": {
+        "subjects": ("clock synchronisation source", "PTP grandmaster session",
+                     "frequency reference input", "time alignment service"),
+        "faults": ("is lost", "drifts beyond tolerance",
+                   "switches to holdover", "reports phase jumps"),
+        "metrics": ("clock drift magnitude", "number of sync source switches",
+                    "holdover duration", "phase error measurement"),
+    },
+    "configuration": {
+        "subjects": ("MML configuration channel", "parameter audit service",
+                     "network slice template", "neighbour relation table"),
+        "faults": ("contains inconsistent entries", "fails validation",
+                   "was rolled back unexpectedly", "is locked by another session"),
+        "metrics": ("number of configuration conflicts", "audit failure count",
+                    "rollback frequency", "pending change backlog"),
+    },
+    "security": {
+        "subjects": ("subscriber authentication vector", "IPsec tunnel endpoint",
+                     "certificate validation service", "integrity protection layer"),
+        "faults": ("rejects legitimate requests", "has expired credentials",
+                   "detects replay attempts", "fails key negotiation"),
+        "metrics": ("authentication failure count", "number of rejected tunnels",
+                    "certificate expiry backlog", "integrity check latency"),
+    },
+    "charging": {
+        "subjects": ("online charging gateway", "usage record collector",
+                     "credit control session", "billing mediation stream"),
+        "faults": ("drops charging events", "is overloaded by records",
+                   "times out on quota requests", "duplicates usage records"),
+        "metrics": ("number of lost charging records", "charging latency",
+                    "quota request failure rate", "mediation queue depth"),
+    },
+    "roaming": {
+        "subjects": ("inbound roaming gateway", "inter-operator signalling link",
+                     "visited network selection logic", "roaming steering policy"),
+        "faults": ("misroutes subscriber traffic", "loses partner connectivity",
+                   "applies stale agreements", "rejects inbound registrations"),
+        "metrics": ("roaming registration success rate", "number of misrouted roamers",
+                    "partner link availability", "steering override count"),
+    },
+    "slicing": {
+        "subjects": ("network slice orchestrator", "slice admission controller",
+                     "slice isolation boundary", "slice resource scheduler"),
+        "faults": ("exceeds isolation budget", "starves low-priority slices",
+                   "fails slice instantiation", "leaks traffic between slices"),
+        "metrics": ("slice instantiation success rate", "number of slice SLA breaches",
+                    "inter-slice interference level", "slice resource utilisation"),
+    },
+}
+
+SEVERITIES: tuple[str, ...] = ("critical", "major", "minor", "warning")
+
+
+@dataclass(frozen=True)
+class NetworkElementType:
+    """A type of network element (e.g. SMF) with its interfaces."""
+
+    name: str
+    interfaces: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """An alarm definition in the catalog.
+
+    ``uid`` is the stable identifier (e.g. ``ALM-10007``); ``name`` is the
+    human surface used by documents, prompts, and the KG.
+    """
+
+    uid: str
+    name: str
+    theme: str
+    ne_type: str
+    severity: str
+    interface: str
+
+    @property
+    def kind(self) -> str:
+        return "alarm"
+
+
+@dataclass(frozen=True)
+class Kpi:
+    """A KPI definition with the normal operating range of its value."""
+
+    uid: str
+    name: str
+    theme: str
+    ne_type: str
+    unit: str
+    normal_low: float
+    normal_high: float
+    #: direction the value moves when the KPI is disturbed ("up" or "down")
+    anomaly_direction: str
+
+    @property
+    def kind(self) -> str:
+        return "kpi"
+
+
+UNITS: tuple[str, ...] = ("percent", "count", "milliseconds", "ratio")
+
+
+@dataclass
+class TeleOntology:
+    """Complete generated catalog of NE types, alarms, and KPIs."""
+
+    ne_types: dict[str, NetworkElementType]
+    alarms: list[Alarm]
+    kpis: list[Kpi]
+
+    @property
+    def events(self) -> list:
+        """All events (alarms then KPIs) — the node set of the causal graph."""
+        return list(self.alarms) + list(self.kpis)
+
+    def event_by_uid(self, uid: str):
+        for event in self.events:
+            if event.uid == uid:
+                return event
+        raise KeyError(uid)
+
+    @classmethod
+    def generate(cls, rng: np.random.Generator, alarms_per_theme: int = 4,
+                 kpis_per_theme: int = 3) -> "TeleOntology":
+        """Generate an alarm/KPI catalog across all themes.
+
+        Within a theme, alarm and KPI names draw from the same phrase pools so
+        surface text correlates with causal structure.
+        """
+        ne_names = list(NE_TYPES)
+        alarms: list[Alarm] = []
+        kpis: list[Kpi] = []
+        alarm_seq = 10001
+        kpi_seq = 19001
+        for theme, pools in THEMES.items():
+            subjects = pools["subjects"]
+            faults = pools["faults"]
+            metrics = pools["metrics"]
+            for i in range(alarms_per_theme):
+                subject = subjects[i % len(subjects)]
+                fault = faults[(i // len(subjects) + i) % len(faults)]
+                ne_type = ne_names[int(rng.integers(len(ne_names)))]
+                interface = NE_TYPES[ne_type][int(rng.integers(len(NE_TYPES[ne_type])))]
+                alarms.append(Alarm(
+                    uid=f"ALM-{alarm_seq}",
+                    name=f"The {subject} {fault}",
+                    theme=theme,
+                    ne_type=ne_type,
+                    severity=SEVERITIES[int(rng.integers(len(SEVERITIES)))],
+                    interface=interface,
+                ))
+                alarm_seq += 1
+            for i in range(kpis_per_theme):
+                metric = metrics[i % len(metrics)]
+                ne_type = ne_names[int(rng.integers(len(ne_names)))]
+                direction = "up" if rng.random() < 0.5 else "down"
+                low = float(rng.uniform(10, 40))
+                high = low + float(rng.uniform(20, 50))
+                kpis.append(Kpi(
+                    uid=f"KPI-{kpi_seq}",
+                    name=f"The {metric}",
+                    theme=theme,
+                    ne_type=ne_type,
+                    unit=UNITS[int(rng.integers(len(UNITS)))],
+                    normal_low=low,
+                    normal_high=high,
+                    anomaly_direction=direction,
+                ))
+                kpi_seq += 1
+        ne_types = {name: NetworkElementType(name, ifaces)
+                    for name, ifaces in NE_TYPES.items()}
+        return cls(ne_types=ne_types, alarms=alarms, kpis=kpis)

@@ -1,0 +1,154 @@
+"""Signaling-flow simulation — the paper's declared future work.
+
+Sec. IV-B: "Other data sources like signaling flow and configuration data are
+temporarily not considered in this paper. We leave it as the future work."
+This module implements that extension: standard 3GPP-style procedures as
+ordered message sequences between NE types, and a simulator that emits
+per-episode signaling flows — completing successfully in healthy episodes and
+aborting mid-procedure when the episode's fault theme touches the procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.world.episodes import FaultEpisode
+from repro.world.ontology import TeleOntology
+
+#: Procedure catalog: name -> (related fault themes, message steps).
+#: Each step is (message, source NE type, destination NE type, interface).
+PROCEDURES: dict[str, dict] = {
+    "initial registration": {
+        "themes": ("registration",),
+        "steps": (
+            ("Registration Request", "gNodeB", "AMF", "N2"),
+            ("Authentication Request", "AMF", "AUSF", "N12"),
+            ("Authentication Response", "AUSF", "AMF", "N12"),
+            ("Registration Accept", "AMF", "gNodeB", "N2"),
+        ),
+    },
+    "pdu session establishment": {
+        "themes": ("session",),
+        "steps": (
+            ("PDU Session Establishment Request", "AMF", "SMF", "N11"),
+            ("Session Context Create", "SMF", "UPF", "N4"),
+            ("Session Context Response", "UPF", "SMF", "N4"),
+            ("PDU Session Establishment Accept", "SMF", "AMF", "N11"),
+        ),
+    },
+    "xn handover": {
+        "themes": ("handover",),
+        "steps": (
+            ("Handover Request", "gNodeB", "gNodeB", "Xn"),
+            ("Handover Request Acknowledge", "gNodeB", "gNodeB", "Xn"),
+            ("Path Switch Request", "gNodeB", "AMF", "N2"),
+            ("Path Switch Request Acknowledge", "AMF", "gNodeB", "N2"),
+        ),
+    },
+    "paging": {
+        "themes": ("paging",),
+        "steps": (
+            ("Paging", "AMF", "gNodeB", "N2"),
+            ("Service Request", "gNodeB", "AMF", "N2"),
+            ("Service Accept", "AMF", "gNodeB", "N2"),
+        ),
+    },
+    "nf discovery": {
+        "themes": ("routing",),
+        "steps": (
+            ("NF Discovery Request", "SMF", "NRF", "N27"),
+            ("NF Discovery Response", "NRF", "SMF", "N27"),
+        ),
+    },
+}
+
+
+@dataclass(frozen=True)
+class SignalingRecord:
+    """One signaling message observation."""
+
+    timestamp: float
+    procedure: str
+    message: str
+    source: str       # NE type
+    destination: str  # NE type
+    interface: str
+    status: str       # "ok" | "timeout" | "reject"
+
+    def render(self) -> str:
+        """Human surface used by the prompt template."""
+        return (f"{self.message} from {self.source} to {self.destination} "
+                f"over {self.interface} {self.status}")
+
+
+@dataclass
+class SignalingFlow:
+    """A procedure instance: completed or aborted message sequence."""
+
+    procedure: str
+    records: list[SignalingRecord]
+    completed: bool
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class SignalingSimulator:
+    """Emits signaling flows consistent with fault episodes.
+
+    Healthy procedures complete; when the episode's fault themes intersect a
+    procedure's themes, the flow aborts at a random step with a timeout or
+    reject — planting the correlation between signaling anomalies and fault
+    themes that a pre-trained model can pick up.
+    """
+
+    def __init__(self, ontology: TeleOntology, rng: np.random.Generator):
+        self.ontology = ontology
+        self.rng = rng
+        self._themes = {e.uid: e.theme for e in ontology.events}
+
+    def episode_themes(self, episode: FaultEpisode) -> set[str]:
+        """Fault themes active in an episode (root + propagated events)."""
+        uids = {episode.root_uid}
+        uids.update(u for pair in episode.fired_edges for u in pair)
+        return {self._themes[u] for u in uids if u in self._themes}
+
+    def simulate_flow(self, procedure: str, start_time: float,
+                      disturbed: bool) -> SignalingFlow:
+        """One procedure instance; aborts mid-sequence when disturbed."""
+        if procedure not in PROCEDURES:
+            raise KeyError(f"unknown procedure: {procedure}")
+        steps = PROCEDURES[procedure]["steps"]
+        abort_at = len(steps)
+        failure = "ok"
+        if disturbed:
+            abort_at = int(self.rng.integers(1, len(steps) + 1))
+            failure = "timeout" if self.rng.random() < 0.5 else "reject"
+        records: list[SignalingRecord] = []
+        t = start_time
+        for index, (message, src, dst, iface) in enumerate(steps):
+            if index >= abort_at:
+                break
+            t += float(self.rng.exponential(0.05))
+            status = failure if index == abort_at - 1 and disturbed else "ok"
+            records.append(SignalingRecord(
+                timestamp=t, procedure=procedure, message=message,
+                source=src, destination=dst, interface=iface, status=status))
+        return SignalingFlow(procedure=procedure, records=records,
+                             completed=abort_at == len(steps) and not disturbed)
+
+    def simulate_episode(self, episode: FaultEpisode,
+                         flows_per_procedure: int = 2) -> list[SignalingFlow]:
+        """Signaling traffic during one episode."""
+        themes = self.episode_themes(episode)
+        start = min(r.timestamp for r in episode.records)
+        flows: list[SignalingFlow] = []
+        for procedure, spec in PROCEDURES.items():
+            related = bool(themes & set(spec["themes"]))
+            for i in range(flows_per_procedure):
+                disturbed = related and self.rng.random() < 0.8
+                flows.append(self.simulate_flow(
+                    procedure, start + i * 10.0, disturbed))
+        return flows

@@ -1,0 +1,108 @@
+"""Network topology instances: typed NE nodes with connections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.world.ontology import LOCATIONS, NE_TYPES, VENDORS
+
+
+@dataclass
+class NetworkInstance:
+    """One deployed network: NE instances and the links between them.
+
+    ``graph`` is an undirected :class:`networkx.Graph`; node attributes are
+    ``ne_type``, ``vendor``, ``location``; edge attributes carry ``interface``.
+    """
+
+    graph: nx.Graph
+    name: str = "network"
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self.graph.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def ne_type(self, node: str) -> str:
+        return self.graph.nodes[node]["ne_type"]
+
+    def nodes_of_type(self, ne_type: str) -> list[str]:
+        return [n for n in self.graph.nodes
+                if self.graph.nodes[n]["ne_type"] == ne_type]
+
+    def neighbors(self, node: str) -> list[str]:
+        return list(self.graph.neighbors(node))
+
+    def adjacency_matrix(self, order: list[str] | None = None) -> np.ndarray:
+        """Dense symmetric adjacency over ``order`` (defaults to node order)."""
+        order = order or self.nodes
+        index = {n: i for i, n in enumerate(order)}
+        mat = np.zeros((len(order), len(order)))
+        for u, v in self.graph.edges:
+            if u in index and v in index:
+                mat[index[u], index[v]] = 1.0
+                mat[index[v], index[u]] = 1.0
+        return mat
+
+
+def _shared_interface(type_a: str, type_b: str) -> str | None:
+    shared = set(NE_TYPES[type_a]) & set(NE_TYPES[type_b])
+    return sorted(shared)[0] if shared else None
+
+
+def generate_topology(rng: np.random.Generator, num_nodes: int = 12,
+                      extra_link_probability: float = 0.25,
+                      name: str = "network") -> NetworkInstance:
+    """Generate a connected NE topology.
+
+    NE instances get types sampled from the catalog; a random spanning tree
+    guarantees connectivity, then extra links are added preferentially between
+    NE types that share an interface (as real networks do).
+    """
+    if num_nodes < 2:
+        raise ValueError("topology needs at least 2 nodes")
+    type_names = list(NE_TYPES)
+    graph = nx.Graph()
+    counters: dict[str, int] = {}
+    nodes: list[str] = []
+    for _ in range(num_nodes):
+        ne_type = type_names[int(rng.integers(len(type_names)))]
+        counters[ne_type] = counters.get(ne_type, 0) + 1
+        node = f"{ne_type}-{counters[ne_type]:02d}"
+        graph.add_node(node, ne_type=ne_type,
+                       vendor=VENDORS[int(rng.integers(len(VENDORS)))],
+                       location=LOCATIONS[int(rng.integers(len(LOCATIONS)))])
+        nodes.append(node)
+
+    # Random spanning tree for connectivity.
+    shuffled = list(nodes)
+    rng.shuffle(shuffled)
+    for i in range(1, len(shuffled)):
+        j = int(rng.integers(i))
+        u, v = shuffled[i], shuffled[j]
+        iface = _shared_interface(graph.nodes[u]["ne_type"],
+                                  graph.nodes[v]["ne_type"]) or "internal"
+        graph.add_edge(u, v, interface=iface)
+
+    # Extra links, biased towards interface-compatible pairs.
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            if graph.has_edge(u, v):
+                continue
+            iface = _shared_interface(graph.nodes[u]["ne_type"],
+                                      graph.nodes[v]["ne_type"])
+            p = extra_link_probability if iface else extra_link_probability / 4
+            if rng.random() < p:
+                graph.add_edge(u, v, interface=iface or "internal")
+
+    return NetworkInstance(graph=graph, name=name)

@@ -1,0 +1,143 @@
+"""Tests for embedding diagnostics and ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    anisotropy,
+    ascii_histogram,
+    ascii_scatter,
+    nearest_neighbors,
+    silhouette_score,
+    theme_separation,
+    value_order_correlation,
+)
+
+
+def _clustered_vectors():
+    """Two well-separated clusters of 3 vectors each."""
+    rng = np.random.default_rng(0)
+    a = rng.normal(0, 0.05, size=(3, 8)) + np.array([5.0] + [0.0] * 7)
+    b = rng.normal(0, 0.05, size=(3, 8)) + np.array([0.0, 5.0] + [0.0] * 6)
+    return np.vstack([a, b]), ["a"] * 3 + ["b"] * 3
+
+
+class TestAnisotropy:
+    def test_collapsed_space_near_one(self):
+        vectors = np.tile(np.array([1.0, 2.0, 3.0]), (5, 1))
+        assert anisotropy(vectors) > 0.999
+
+    def test_orthogonal_space_near_zero(self):
+        assert abs(anisotropy(np.eye(6))) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            anisotropy(np.ones((1, 4)))
+        with pytest.raises(ValueError):
+            anisotropy(np.ones(4))
+
+
+class TestThemeSeparation:
+    def test_separated_clusters_positive(self):
+        vectors, labels = _clustered_vectors()
+        assert theme_separation(vectors, labels) > 0.5
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.normal(size=(40, 16))
+        labels = ["a", "b"] * 20
+        assert abs(theme_separation(vectors, labels)) < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theme_separation(np.eye(3), ["a", "a"])
+        with pytest.raises(ValueError):
+            theme_separation(np.eye(3), ["a", "a", "a"])  # no cross pairs
+
+
+class TestSilhouette:
+    def test_separated_clusters_high(self):
+        vectors, labels = _clustered_vectors()
+        assert silhouette_score(vectors, labels) > 0.5
+
+    def test_needs_two_clusters(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.eye(3), ["a", "a", "a"])
+
+    def test_singletons_skipped(self):
+        vectors, labels = _clustered_vectors()
+        labels = labels[:-1] + ["c"]  # one singleton cluster
+        score = silhouette_score(vectors, labels)
+        assert np.isfinite(score)
+
+
+class TestNearestNeighbors:
+    def test_returns_sorted_neighbours(self):
+        vectors, _ = _clustered_vectors()
+        names = [f"v{i}" for i in range(6)]
+        out = nearest_neighbors(vectors, names, query_index=0, k=3)
+        assert len(out) == 3
+        sims = [s for _, s in out]
+        assert sims == sorted(sims, reverse=True)
+        # Same-cluster vectors come first.
+        assert out[0][0] in ("v1", "v2")
+
+    def test_excludes_self(self):
+        vectors, _ = _clustered_vectors()
+        names = [f"v{i}" for i in range(6)]
+        out = nearest_neighbors(vectors, names, query_index=2, k=5)
+        assert all(name != "v2" for name, _ in out)
+
+    def test_index_validation(self):
+        with pytest.raises(IndexError):
+            nearest_neighbors(np.eye(3), ["a", "b", "c"], query_index=9)
+
+
+class TestValueOrderCorrelation:
+    def test_ordered_arc_is_high(self):
+        # Points on a unit arc: cosine distance is monotone in |Δvalue|.
+        values = np.linspace(0, 1, 20)
+        embeddings = np.stack([np.cos(values), np.sin(values)], axis=1)
+        assert value_order_correlation(values, embeddings) > 0.95
+
+    def test_shuffled_is_lower(self):
+        rng = np.random.default_rng(0)
+        values = np.linspace(0, 1, 20)
+        embeddings = rng.normal(size=(20, 8))
+        assert value_order_correlation(values, embeddings) < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            value_order_correlation(np.array([1.0, 2.0]), np.eye(2))
+
+
+class TestAsciiPlots:
+    def test_scatter_renders_grid(self):
+        x = np.linspace(0, 1, 30)
+        out = ascii_scatter(x, x ** 2, values=x, width=40, height=10,
+                            title="demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("+")
+        assert len(lines) == 1 + 1 + 10 + 1 + 1
+
+    def test_scatter_constant_axis_ok(self):
+        out = ascii_scatter(np.zeros(5), np.arange(5.0))
+        assert "|" in out
+
+    def test_scatter_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            ascii_scatter(np.zeros(0), np.zeros(0))
+
+    def test_histogram_counts(self):
+        out = ascii_histogram(np.concatenate([np.zeros(10), np.ones(5)]),
+                              bins=2)
+        assert " 10" in out and " 5" in out
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(np.array([]))
+        with pytest.raises(ValueError):
+            ascii_histogram(np.ones(3), bins=0)

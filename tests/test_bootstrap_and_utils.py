@@ -1,0 +1,135 @@
+"""Tests for bootstrap CIs, the query FILTER clause, and the OOV-rate utility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import ConfidenceInterval, bootstrap_ci, rank_metric_cis
+from repro.kg import Pattern, Variable, build_tele_kg, query
+from repro.tokenization import WordTokenizer
+from repro.world import TelecomWorld
+
+
+class TestBootstrap:
+    def test_interval_contains_estimate(self):
+        samples = np.random.default_rng(0).normal(5.0, 1.0, 100)
+        ci = bootstrap_ci(samples)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.estimate in ci
+
+    def test_interval_narrows_with_more_samples(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(0, 1, 20))
+        large = bootstrap_ci(rng.normal(0, 1, 2000))
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_deterministic_with_rng(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        a = bootstrap_ci(samples, rng=np.random.default_rng(7))
+        b = bootstrap_ci(samples, rng=np.random.default_rng(7))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_str_rendering(self):
+        ci = ConfidenceInterval(0.5, 0.4, 0.6, 0.95)
+        assert "[0.400, 0.600]" in str(ci)
+
+    def test_rank_metric_cis(self):
+        cis = rank_metric_cis([1, 2, 3, 10, 1, 1], hit_levels=(1, 3))
+        assert set(cis) == {"MR", "MRR", "Hits@1", "Hits@3"}
+        assert cis["MR"].estimate == 3.0
+        assert 0 <= cis["Hits@1"].estimate <= 1.0
+
+
+class TestQueryFilter:
+    @pytest.fixture(scope="class")
+    def kg(self):
+        world = TelecomWorld.generate(seed=37, alarms_per_theme=2,
+                                      kpis_per_theme=2, topology_nodes=6)
+        return build_tele_kg(world)
+
+    def test_filter_restricts_results(self, kg):
+        h, t = Variable("h"), Variable("t")
+        everything = query(kg, [Pattern(h, "trigger", t)])
+        kpi_only = query(kg, [Pattern(h, "trigger", t)],
+                         where=lambda b: b["t"].startswith("KPI"))
+        assert len(kpi_only) < len(everything)
+        assert all(row["t"].startswith("KPI") for row in kpi_only)
+
+    def test_filter_with_limit(self, kg):
+        h, t = Variable("h"), Variable("t")
+        rows = query(kg, [Pattern(h, "trigger", t)],
+                     where=lambda b: b["t"].startswith("KPI"), limit=2)
+        assert len(rows) == 2
+
+
+class TestOovRate:
+    def _tokenizer(self):
+        return WordTokenizer.from_corpus(["alpha beta gamma", "alpha beta"])
+
+    def test_zero_for_known_corpus(self):
+        tok = self._tokenizer()
+        assert tok.oov_rate(["alpha beta"]) == 0.0
+
+    def test_counts_unknowns(self):
+        tok = self._tokenizer()
+        assert tok.oov_rate(["alpha zzz"]) == 0.5
+
+    def test_empty_raises(self):
+        tok = self._tokenizer()
+        with pytest.raises(ValueError):
+            tok.oov_rate([""])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False), min_size=2, max_size=50))
+def test_bootstrap_interval_brackets_true_mean_often(samples):
+    ci = bootstrap_ci(samples, confidence=0.99, num_resamples=300)
+    assert ci.low <= np.mean(samples) <= ci.high
+
+
+class TestSignificance:
+    def test_identical_scores_not_significant(self):
+        from repro.evaluation import paired_permutation_test
+        result = paired_permutation_test([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_clear_difference_is_significant(self):
+        from repro.evaluation import paired_permutation_test
+        rng = np.random.default_rng(0)
+        base = rng.normal(0, 0.1, 40)
+        result = paired_permutation_test(base + 1.0, base,
+                                         num_permutations=2000)
+        assert result.mean_difference > 0.9
+        assert result.significant(alpha=0.01)
+
+    def test_validation(self):
+        from repro.evaluation import paired_permutation_test
+        with pytest.raises(ValueError):
+            paired_permutation_test([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_permutation_test([], [])
+
+    def test_compare_rank_lists(self):
+        from repro.evaluation import compare_rank_lists
+        better = [1] * 20
+        worse = [5] * 20
+        result = compare_rank_lists(better, worse, num_permutations=1000)
+        assert result.mean_difference > 0
+        assert result.significant()
+
+    def test_deterministic_with_rng(self):
+        from repro.evaluation import paired_permutation_test
+        a = [1.0, 1.5, 0.5, 2.0]
+        b = [0.9, 1.2, 0.7, 1.5]
+        r1 = paired_permutation_test(a, b, rng=np.random.default_rng(3))
+        r2 = paired_permutation_test(a, b, rng=np.random.default_rng(3))
+        assert r1 == r2

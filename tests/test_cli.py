@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reproduce_defaults(self):
+        args = build_parser().parse_args(["reproduce"])
+        assert args.table == "all"
+        assert args.seeds == [0]
+
+    def test_seed_parsing(self):
+        args = build_parser().parse_args(["reproduce", "--seeds", "1,2,3"])
+        assert args.seeds == [1, 2, 3]
+
+    def test_bad_seeds_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "--seeds", ","])
+
+    def test_pretrain_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pretrain"])
+
+
+class TestSimulate:
+    def test_prints_json_stats(self, capsys):
+        code = main(["simulate", "--seed", "3", "--episodes", "5"])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["episodes"] == 5
+        assert stats["alarms"] > 0
+        assert stats["kg"]["triples"] > 0
+
+
+class TestReproduce:
+    def test_single_stats_table(self, capsys, tmp_path):
+        code = main(["reproduce", "--table", "3",
+                     "--out", str(tmp_path / "results")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert (tmp_path / "results" / "table_3.txt").exists()
+
+    def test_unknown_table(self, capsys):
+        assert main(["reproduce", "--table", "99"]) == 2
+
+
+class TestEncodeRoundTrip:
+    def test_pretrain_then_encode(self, capsys, tmp_path):
+        """Tiny end-to-end CLI flow: pretrain -> checkpoint -> encode."""
+        code = main(["pretrain", "--out", str(tmp_path / "ckpt"),
+                     "--strategy", "stl",
+                     "--stage1-steps", "2", "--stage2-steps", "2"])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["encode", "--checkpoint", str(tmp_path / "ckpt"),
+                     "--text", "[ALM] The link is down"])
+        assert code == 0
+        line = capsys.readouterr().out.strip().splitlines()[-1]
+        payload = json.loads(line)
+        assert payload["text"].startswith("[ALM]")
+        assert len(payload["embedding"]) == 32

@@ -1,0 +1,151 @@
+"""Tests for document generation, Tele-Corpus assembly, and causal extraction."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    CAUSAL_KEYWORDS,
+    build_tele_corpus,
+    extract_causal_sentences,
+    generate_generic_corpus,
+    generate_product_documents,
+    strip_identifiers,
+)
+from repro.corpus.telecorpus import splice_adjacent
+from repro.world import TelecomWorld
+
+
+@pytest.fixture(scope="module")
+def world():
+    return TelecomWorld.generate(seed=3)
+
+
+@pytest.fixture(scope="module")
+def documents(world):
+    return generate_product_documents(world, seed=3)
+
+
+class TestDocuments:
+    def test_one_document_per_ne_type(self, world, documents):
+        ne_types = {e.ne_type for e in world.ontology.events}
+        assert len(documents) == len(ne_types)
+
+    def test_sections_present(self, documents):
+        for doc in documents:
+            assert set(doc.sections) == {"event_descriptions", "kpi_reference",
+                                         "fault_cases", "handling_procedures"}
+
+    def test_fault_cases_carry_causal_keywords(self, documents):
+        from repro.corpus.causal import contains_causal_keyword
+        cases = [s for d in documents for s in d.sections["fault_cases"]]
+        assert cases
+        assert all(contains_causal_keyword(c) for c in cases)
+
+    def test_fault_cases_mention_event_names(self, world, documents):
+        """Causal edges must be verbalised with event surfaces."""
+        surfaces = [e.name for e in world.ontology.events]
+        cases = " ".join(s for d in documents for s in d.sections["fault_cases"])
+        mentioned = sum(1 for s in surfaces if s in cases)
+        assert mentioned > len(surfaces) * 0.5
+
+    def test_deterministic(self, world):
+        a = generate_product_documents(world, seed=1)
+        b = generate_product_documents(world, seed=1)
+        assert [d.sentences() for d in a] == [d.sentences() for d in b]
+
+
+class TestTeleCorpus:
+    def test_contains_entity_surfaces(self, world):
+        corpus = build_tele_corpus(world, seed=0)
+        assert world.ontology.alarms[0].name in corpus.sentences
+
+    def test_augmentation_adds_sentences(self, world, documents):
+        plain = build_tele_corpus(world, seed=0, augmentation_factor=0.0,
+                                  documents=documents)
+        augmented = build_tele_corpus(world, seed=0, augmentation_factor=1.0,
+                                      documents=documents)
+        assert len(augmented) > len(plain)
+
+    def test_sample_without_replacement(self, world):
+        corpus = build_tele_corpus(world, seed=0)
+        sample = corpus.sample(10, np.random.default_rng(0))
+        assert len(sample) == 10
+
+    def test_sample_more_than_corpus(self, world, documents):
+        corpus = build_tele_corpus(world, seed=0, documents=documents)
+        sample = corpus.sample(len(corpus) + 50, np.random.default_rng(0))
+        assert len(sample) == len(corpus) + 50
+
+    def test_splice_spans_are_adjacent(self):
+        sentences = [f"s{i}" for i in range(10)]
+        spliced = splice_adjacent(sentences, np.random.default_rng(0),
+                                  num_splices=20, max_span=3)
+        for joined in spliced:
+            parts = joined.split()
+            indices = [int(p[1:]) for p in parts]
+            assert indices == list(range(indices[0], indices[0] + len(indices)))
+
+    def test_splice_empty_input(self):
+        assert splice_adjacent(["one"], np.random.default_rng(0), 5) == []
+
+
+class TestCausalExtraction:
+    def test_strip_identifiers(self):
+        raw = "[KPI] 1929480378 The number of requests increases abnormally"
+        assert strip_identifiers(raw) == \
+            "The number of requests increases abnormally"
+
+    def test_strip_alm_identifiers(self):
+        raw = "[Alm] ALM-100072 The NF destination service is unreachable"
+        assert strip_identifiers(raw) == \
+            "The NF destination service is unreachable"
+
+    def test_extract_requires_keyword(self):
+        sentences = ["The link failure leads to session drops in the core",
+                     "The weather is nice today and everything is fine"]
+        out = extract_causal_sentences(sentences, min_length=3)
+        assert out == ["The link failure leads to session drops in the core"]
+
+    def test_extract_enforces_min_length(self):
+        out = extract_causal_sentences(["A causes B"], min_length=6)
+        assert out == []
+
+    def test_extract_deduplicates(self):
+        sentence = "The alarm triggers a KPI drop in the region"
+        out = extract_causal_sentences([sentence, sentence], min_length=3)
+        assert len(out) == 1
+
+    def test_keyword_matching_is_word_bounded(self):
+        # "because of" inside another word must not match.
+        out = extract_causal_sentences(
+            ["The xtriggerx token is not a causal keyword here at all"],
+            min_length=3)
+        assert out == []
+
+    def test_real_corpus_yields_causal_sentences(self, world, documents):
+        corpus = build_tele_corpus(world, seed=0, documents=documents)
+        causal = extract_causal_sentences(corpus.sentences)
+        assert len(causal) > 50
+        # IDs must be gone.
+        assert not any("ALM-1" in s and "[Alm]" in s for s in causal)
+
+    def test_keywords_cover_connectives(self):
+        from repro.corpus.documents import CAUSAL_CONNECTIVES
+        for connective in CAUSAL_CONNECTIVES:
+            assert any(connective.startswith(k.split()[0]) or k in connective
+                       for k in CAUSAL_KEYWORDS), connective
+
+
+class TestGenericCorpus:
+    def test_size(self):
+        corpus = generate_generic_corpus(100, seed=0)
+        assert len(corpus) == 100
+
+    def test_deterministic(self):
+        assert generate_generic_corpus(50, seed=1) == \
+            generate_generic_corpus(50, seed=1)
+
+    def test_no_telecom_jargon(self):
+        corpus = " ".join(generate_generic_corpus(200, seed=0))
+        for jargon in ("KPI", "alarm", "SMF", "PDU", "handover", "paging"):
+            assert jargon not in corpus

@@ -1,0 +1,143 @@
+"""Tests for ranking/classification metrics and the k-fold splitter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    classification_metrics,
+    hits_at_k,
+    k_fold_splits,
+    mean_rank,
+    mean_reciprocal_rank,
+    rank_of,
+    ranking_metrics,
+)
+
+
+class TestRankOf:
+    def test_best_score_ranks_first(self):
+        assert rank_of(np.array([0.1, 0.9, 0.5]), 1) == 1
+
+    def test_worst_score_ranks_last(self):
+        assert rank_of(np.array([0.1, 0.9, 0.5]), 0) == 3
+
+    def test_lower_is_better_mode(self):
+        assert rank_of(np.array([0.1, 0.9, 0.5]), 0,
+                       higher_is_better=False) == 1
+
+    def test_ties_get_middle_rank(self):
+        # All equal: rank should be (n+1)/2-ish, not 1.
+        assert rank_of(np.ones(5), 2) == 3
+
+    def test_index_validation(self):
+        with pytest.raises(IndexError):
+            rank_of(np.ones(3), 5)
+
+
+class TestAggregates:
+    def test_mean_rank(self):
+        assert mean_rank([1, 3, 5]) == 3.0
+
+    def test_mrr(self):
+        assert np.isclose(mean_reciprocal_rank([1, 2, 4]), (1 + 0.5 + 0.25) / 3)
+
+    def test_hits(self):
+        assert hits_at_k([1, 2, 3, 10], 3) == 0.75
+
+    def test_empty_raises(self):
+        for fn in (mean_rank, mean_reciprocal_rank):
+            with pytest.raises(ValueError):
+                fn([])
+        with pytest.raises(ValueError):
+            hits_at_k([], 3)
+        with pytest.raises(ValueError):
+            hits_at_k([1], 0)
+
+    def test_bundle(self):
+        metrics = ranking_metrics([1, 2], hit_levels=(1, 3))
+        assert metrics.mean_rank == 1.5
+        assert metrics.hits[1] == 0.5
+        assert metrics.hits[3] == 1.0
+        assert metrics.as_row((1, 3)) == [1.5, 0.75, 0.5, 1.0]
+
+
+class TestClassification:
+    def test_perfect(self):
+        m = classification_metrics(np.array([1, 0, 1]), np.array([1, 0, 1]))
+        assert m.accuracy == m.precision == m.recall == m.f1 == 1.0
+
+    def test_known_values(self):
+        predictions = np.array([1, 1, 0, 0])
+        labels = np.array([1, 0, 1, 0])
+        m = classification_metrics(predictions, labels)
+        assert m.accuracy == 0.5
+        assert m.precision == 0.5
+        assert m.recall == 0.5
+        assert m.f1 == 0.5
+
+    def test_degenerate_no_positives_predicted(self):
+        m = classification_metrics(np.zeros(4), np.array([1, 1, 0, 0]))
+        assert m.precision == 0.0
+        assert m.f1 == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classification_metrics(np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            classification_metrics(np.zeros(0), np.zeros(0))
+
+
+class TestKFold:
+    def test_five_fold_structure(self):
+        splits = k_fold_splits(50, 5)
+        assert len(splits) == 5
+        for split in splits:
+            total = len(split.train) + len(split.valid) + len(split.test)
+            assert total == 50
+            combined = np.concatenate([split.train, split.valid, split.test])
+            assert len(np.unique(combined)) == 50
+
+    def test_every_item_tested_once(self):
+        splits = k_fold_splits(23, 5)
+        tested = np.concatenate([s.test for s in splits])
+        assert sorted(tested.tolist()) == list(range(23))
+
+    def test_valid_is_next_fold(self):
+        splits = k_fold_splits(10, 5)
+        # test of split i equals valid of split i-1
+        for i in range(5):
+            assert np.array_equal(np.sort(splits[i].valid),
+                                  np.sort(splits[(i + 1) % 5].test))
+
+    def test_shuffling(self):
+        a = k_fold_splits(20, 5, rng=np.random.default_rng(0))
+        b = k_fold_splits(20, 5)
+        assert not np.array_equal(a[0].test, b[0].test)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            k_fold_splits(10, 2)
+        with pytest.raises(ValueError):
+            k_fold_splits(3, 5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=6, max_value=200),
+       st.integers(min_value=3, max_value=6))
+def test_kfold_partitions_everything(n, k):
+    splits = k_fold_splits(n, k)
+    for split in splits:
+        merged = np.concatenate([split.train, split.valid, split.test])
+        assert sorted(merged.tolist()) == list(range(n))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=100), min_size=1,
+                max_size=50))
+def test_ranking_metric_bounds(ranks):
+    metrics = ranking_metrics(ranks, hit_levels=(1, 5))
+    assert metrics.mean_rank >= 1.0
+    assert 0.0 < metrics.mrr <= 1.0
+    assert 0.0 <= metrics.hits[1] <= metrics.hits[5] <= 1.0

@@ -1,0 +1,157 @@
+"""Tests for the experiment layer: formatting, averaging, pipeline, report."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentPipeline,
+    PipelineConfig,
+    average_tables,
+    format_table,
+    generate_report,
+    run_table2,
+    run_table3,
+    run_table5,
+    run_table7,
+)
+from repro.experiments.tables import TableResult
+
+
+@pytest.fixture(scope="module")
+def micro_pipeline():
+    """A pipeline small enough for test-time model building."""
+    return ExperimentPipeline(PipelineConfig(
+        seed=0, num_episodes=20, stage1_steps=3, stage2_steps=4,
+        generic_sentences=80, alarms_per_theme=2, kpis_per_theme=2,
+        topology_nodes=8))
+
+
+class TestFormatTable:
+    def _result(self):
+        return TableResult(
+            title="T", columns=["A", "B"],
+            rows={"m1": {"A": 1.0, "B": 2.0}},
+            paper={"m1": {"A": 1.5, "B": float("nan")}},
+            notes="hello")
+
+    def test_contains_sections(self):
+        text = format_table(self._result())
+        assert "[measured]" in text and "[paper]" in text
+        assert "note: hello" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table(self._result())
+        assert "-" in text.splitlines()[-2]
+
+    def test_precision(self):
+        text = format_table(self._result(), precision=3)
+        assert "1.000" in text
+
+
+class TestAverageTables:
+    def _result(self, value):
+        return TableResult(title="T", columns=["A"],
+                           rows={"m": {"A": value}})
+
+    def test_mean_of_rows(self):
+        merged = average_tables([self._result(1.0), self._result(3.0)])
+        assert merged.rows["m"]["A"] == 2.0
+        assert "averaged over 2 seeds" in merged.notes
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_tables([])
+
+    def test_shape_mismatch_raises(self):
+        other = TableResult(title="T", columns=["B"],
+                            rows={"m": {"B": 1.0}})
+        with pytest.raises(ValueError):
+            average_tables([self._result(1.0), other])
+
+
+class TestPipeline:
+    def test_artifacts_cached(self, micro_pipeline):
+        assert micro_pipeline.world is micro_pipeline.world
+        assert micro_pipeline.corpus is micro_pipeline.corpus
+
+    def test_stats_tables_run(self, micro_pipeline):
+        for fn in (run_table2, run_table3, run_table5, run_table7):
+            result = fn(micro_pipeline)
+            assert result.rows
+            assert format_table(result)
+
+    def test_providers_cover_all_method_rows(self, micro_pipeline):
+        providers = micro_pipeline.providers()
+        labels = [p.label for p in providers]
+        assert labels == ["Random", "MacBERT", "TeleBERT", "KTeleBERT-STL",
+                          "w/o ANEnc", "KTeleBERT-PMTL", "KTeleBERT-IMTL"]
+
+    def test_word_embedding_variant(self, micro_pipeline):
+        providers = micro_pipeline.providers(include_word_embeddings=True)
+        assert providers[0].label == "Word Embeddings"
+
+    def test_special_tokens_mined(self, micro_pipeline):
+        mined = micro_pipeline.tele_special_tokens
+        assert isinstance(mined, list)
+        assert all(2 <= len(t) <= 4 for t in mined)
+
+    def test_variants_share_tokenizer_but_not_weights(self, micro_pipeline):
+        stl = micro_pipeline.ktelebert_stl
+        pmtl = micro_pipeline.ktelebert_pmtl
+        assert stl.tokenizer is pmtl.tokenizer
+        a = stl.mlm_model.bert.token_embedding.weight.data
+        b = pmtl.mlm_model.bert.token_embedding.weight.data
+        assert a.shape == b.shape
+        assert not np.allclose(a, b)  # different strategies -> different weights
+
+
+class TestReport:
+    def test_generates_markdown(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table4_rca.txt").write_text("Table IV contents")
+        (results / "ablation_simcse.txt").write_text("ablation contents")
+        out = generate_report(results, tmp_path / "EXPERIMENTS.md")
+        text = out.read_text()
+        assert "Table IV contents" in text
+        assert "ablation contents" in text
+        assert "missing" in text  # other sections absent
+
+    def test_all_sections_present_when_files_exist(self, tmp_path):
+        from repro.experiments.report import SECTIONS
+        results = tmp_path / "results"
+        results.mkdir()
+        for filename, _, _ in SECTIONS:
+            (results / filename).write_text(f"contents of {filename}")
+        text = generate_report(results, tmp_path / "E.md").read_text()
+        assert "missing" not in text
+        for filename, title, _ in SECTIONS:
+            assert title in text
+
+
+class TestResultTablesMicro:
+    """End-to-end smoke of the result-table harnesses at micro scale."""
+
+    def test_table8_and_fig10_run(self, micro_pipeline):
+        from repro.experiments import run_fig10, run_table8
+
+        table8 = run_table8(micro_pipeline)
+        assert set(table8.rows) == {
+            "Random", "MacBERT", "TeleBERT", "KTeleBERT-STL", "w/o ANEnc",
+            "KTeleBERT-PMTL", "KTeleBERT-IMTL"}
+        for row in table8.rows.values():
+            assert all(np.isfinite(v) for v in row.values())
+
+        fig10 = run_fig10(micro_pipeline, num_points=16)
+        assert set(fig10.value_distance_correlation) == {"with L_nc",
+                                                         "w/o L_nc"}
+        for projection in fig10.projections.values():
+            assert projection.shape[1] == 3
+
+    def test_table6_runs(self, micro_pipeline):
+        from repro.experiments import run_table6
+
+        table6 = run_table6(micro_pipeline)
+        assert "Word Embeddings" in table6.rows
+        for row in table6.rows.values():
+            assert all(0.0 <= v <= 100.0 for v in row.values())

@@ -1,0 +1,213 @@
+"""Tests for the future-work extensions: signaling flows, configuration data,
+QA/maintenance corpus enrichment, and their stage-2 integration."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    build_tele_corpus,
+    enrich_corpus_sentences,
+    generate_maintenance_cases,
+    generate_parameter_descriptions,
+    generate_qa_pairs,
+)
+from repro.prompts import wrap_config, wrap_signaling
+from repro.world import (
+    ConfigurationGenerator,
+    PARAMETER_CATALOG,
+    PROCEDURES,
+    SignalingSimulator,
+    TelecomWorld,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return TelecomWorld.generate(seed=31, alarms_per_theme=3,
+                                 kpis_per_theme=2, topology_nodes=8)
+
+
+@pytest.fixture(scope="module")
+def episodes(world):
+    return world.simulate_episodes(6)
+
+
+class TestSignaling:
+    def test_procedures_reference_valid_ne_types(self):
+        from repro.world.ontology import NE_TYPES
+        for spec in PROCEDURES.values():
+            for _, src, dst, iface in spec["steps"]:
+                assert src in NE_TYPES and dst in NE_TYPES
+                assert iface in NE_TYPES[src] or iface in NE_TYPES[dst]
+
+    def test_healthy_flow_completes(self, world):
+        sim = SignalingSimulator(world.ontology, np.random.default_rng(0))
+        flow = sim.simulate_flow("paging", 0.0, disturbed=False)
+        assert flow.completed
+        assert len(flow) == len(PROCEDURES["paging"]["steps"])
+        assert all(r.status == "ok" for r in flow.records)
+
+    def test_disturbed_flow_aborts_with_failure(self, world):
+        sim = SignalingSimulator(world.ontology, np.random.default_rng(0))
+        flow = sim.simulate_flow("initial registration", 0.0, disturbed=True)
+        assert not flow.completed
+        assert flow.records[-1].status in ("timeout", "reject")
+
+    def test_unknown_procedure_raises(self, world):
+        sim = SignalingSimulator(world.ontology, np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            sim.simulate_flow("nonexistent", 0.0, disturbed=False)
+
+    def test_episode_themes_detected(self, world, episodes):
+        sim = SignalingSimulator(world.ontology, np.random.default_rng(0))
+        events = {e.uid: e for e in world.ontology.events}
+        for episode in episodes:
+            themes = sim.episode_themes(episode)
+            assert events[episode.root_uid].theme in themes
+
+    def test_related_procedures_get_disturbed(self, world, episodes):
+        """Theme-related procedures must abort sometimes; unrelated never."""
+        sim = SignalingSimulator(world.ontology, np.random.default_rng(0))
+        saw_related = False
+        saw_aborted = False
+        # Repeat the simulation a few times: per-flow disturbance is
+        # stochastic (p = 0.8).
+        for _ in range(5):
+            for episode in episodes:
+                flows = sim.simulate_episode(episode)
+                themes = sim.episode_themes(episode)
+                for flow in flows:
+                    related = bool(
+                        themes & set(PROCEDURES[flow.procedure]["themes"]))
+                    if not related:
+                        assert flow.completed
+                    else:
+                        saw_related = True
+                        if not flow.completed:
+                            saw_aborted = True
+        assert saw_aborted or not saw_related
+
+    def test_timestamps_increase_within_flow(self, world):
+        sim = SignalingSimulator(world.ontology, np.random.default_rng(1))
+        flow = sim.simulate_flow("pdu session establishment", 5.0,
+                                 disturbed=False)
+        times = [r.timestamp for r in flow.records]
+        assert times == sorted(times)
+        assert times[0] > 5.0
+
+
+class TestConfiguration:
+    def test_snapshot_covers_all_nodes_and_parameters(self, world):
+        gen = ConfigurationGenerator(world.topology, np.random.default_rng(0))
+        records = gen.snapshot()
+        assert len(records) == world.topology.num_nodes * len(PARAMETER_CATALOG)
+        assert all(r.consistent for r in records)
+
+    def test_numeric_values_in_range_when_consistent(self, world):
+        gen = ConfigurationGenerator(world.topology, np.random.default_rng(0))
+        for record in gen.snapshot():
+            if record.is_numeric:
+                low, high = PARAMETER_CATALOG[record.parameter][1]
+                assert low <= record.value <= high
+
+    def test_faulty_node_gets_corruptions(self, world, episodes):
+        gen = ConfigurationGenerator(world.topology, np.random.default_rng(0))
+        episode = episodes[0]
+        records = gen.snapshot_for_episode(episode, corruption_probability=1.0)
+        faulty = [r for r in records if r.node == episode.root_node]
+        assert all(not r.consistent for r in faulty)
+        others = [r for r in records if r.node != episode.root_node]
+        assert all(r.consistent for r in others)
+
+    def test_corrupted_numeric_out_of_range(self, world):
+        gen = ConfigurationGenerator(world.topology, np.random.default_rng(0))
+        node = world.topology.nodes[0]
+        records = gen.snapshot(faulty_nodes={node}, corruption_probability=1.0)
+        for record in records:
+            if record.node == node and record.is_numeric:
+                low, high = PARAMETER_CATALOG[record.parameter][1]
+                assert record.value < low or record.value > high
+
+    def test_corrupted_enum_invalid(self, world):
+        gen = ConfigurationGenerator(world.topology, np.random.default_rng(0))
+        node = world.topology.nodes[0]
+        records = gen.snapshot(faulty_nodes={node}, corruption_probability=1.0)
+        for record in records:
+            if record.node == node and record.kind == "enum":
+                assert str(record.value).startswith("invalid-")
+
+
+class TestExtensionPrompts:
+    def test_wrap_signaling(self):
+        out = wrap_signaling("paging", "Paging from AMF to gNodeB over N2 ok")
+        assert out.startswith("[SIG] paging |")
+
+    def test_wrap_config_numeric(self):
+        out = wrap_config("SMF-01", "max session count", 1234.0, "numeric")
+        assert out.startswith("[CFG] max session count")
+        assert "[NUM] 1234" in out
+        assert "[LOC] SMF-01" in out
+
+    def test_wrap_config_enum(self):
+        out = wrap_config("SMF-01", "cipher suite", "aes-256", "enum")
+        assert "[NUM]" not in out
+        assert "aes-256" in out
+
+
+class TestQaCorpus:
+    def test_qa_pairs_generated(self, world):
+        sentences = generate_qa_pairs(world, seed=0)
+        assert len(sentences) == 2 * len(world.ontology.alarms)
+        assert any(s.endswith("?") for s in sentences)
+
+    def test_parameter_descriptions(self):
+        sentences = generate_parameter_descriptions(seed=0)
+        assert len(sentences) == 2 * len(PARAMETER_CATALOG)
+        assert all(any(p in s for p in PARAMETER_CATALOG)
+                   for s in sentences)
+
+    def test_maintenance_cases_mention_alarms(self, world):
+        sentences = generate_maintenance_cases(world, seed=0)
+        assert len(sentences) == len(world.ontology.alarms)
+
+    def test_enrichment_expands_corpus(self, world):
+        lean = build_tele_corpus(world, seed=0, include_qa_and_cases=False)
+        rich = build_tele_corpus(world, seed=0, include_qa_and_cases=True)
+        assert len(rich) > len(lean)
+
+    def test_deterministic(self, world):
+        assert enrich_corpus_sentences(world, seed=4) == \
+            enrich_corpus_sentences(world, seed=4)
+
+
+class TestStage2Integration:
+    def test_signaling_and_config_rows_included(self, world, episodes):
+        from repro.corpus import build_tele_corpus
+        from repro.kg import build_tele_kg
+        from repro.models.ktelebert import NumericRow
+        from repro.training.stage2 import build_stage2_data
+
+        corpus = build_tele_corpus(world, seed=0)
+        kg = build_tele_kg(world)
+        sim = SignalingSimulator(world.ontology, np.random.default_rng(0))
+        flows = [f for e in episodes for f in sim.simulate_episode(e)]
+        gen = ConfigurationGenerator(world.topology, np.random.default_rng(1))
+        configs = gen.snapshot_for_episode(episodes[0])
+
+        plain = build_stage2_data(corpus, episodes, kg, seed=0,
+                                  ke_negatives=2)
+        extended = build_stage2_data(corpus, episodes, kg, seed=0,
+                                     ke_negatives=2,
+                                     signaling_flows=flows,
+                                     config_records=configs)
+        assert len(extended.log_rows) > len(plain.log_rows)
+        assert any("[SIG]" in r.text for r in extended.log_rows)
+        assert any("[CFG]" in r.text for r in extended.log_rows)
+        # Numeric config parameters are normalisable.
+        numeric_config = [r for r in extended.log_rows
+                          if isinstance(r, NumericRow)
+                          and r.tag in PARAMETER_CATALOG]
+        assert numeric_config
+        for row in numeric_config[:5]:
+            assert 0.0 <= extended.normalizer.transform_one(
+                row.tag, row.value) <= 1.0

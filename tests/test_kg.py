@@ -1,0 +1,259 @@
+"""Tests for the Tele-KG substrate: schema, store, builder, query, serialization, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    NegativeSampler,
+    Pattern,
+    TeleKG,
+    TeleSchema,
+    Triple,
+    Variable,
+    build_tele_kg,
+    query,
+    serialize_kg,
+    serialize_triple,
+)
+from repro.kg.query import ask
+from repro.world import TelecomWorld
+
+
+@pytest.fixture(scope="module")
+def world():
+    return TelecomWorld.generate(seed=8)
+
+
+@pytest.fixture(scope="module")
+def kg(world):
+    return build_tele_kg(world)
+
+
+class TestSchema:
+    def test_roots(self):
+        schema = TeleSchema()
+        assert schema.roots == {"Event", "Resource"}
+
+    def test_subclass_transitivity(self):
+        schema = TeleSchema()
+        assert schema.is_subclass("KPI", "Event")
+        assert schema.is_subclass("NetworkElementInstance", "Resource")
+        assert not schema.is_subclass("KPI", "Resource")
+
+    def test_root_of(self):
+        schema = TeleSchema()
+        assert schema.root_of("Alarm") == "Event"
+        assert schema.root_of("Vendor") == "Resource"
+
+    def test_ancestors_ordered(self):
+        schema = TeleSchema()
+        assert schema.ancestors("KPI") == ["KPIAnomaly", "Event"]
+
+    def test_add_class(self):
+        schema = TeleSchema()
+        schema.add_class("SignalingFlow", "Event")
+        assert schema.is_subclass("SignalingFlow", "Event")
+
+    def test_add_class_validation(self):
+        schema = TeleSchema()
+        with pytest.raises(ValueError):
+            schema.add_class("Alarm", "Event")      # duplicate
+        with pytest.raises(ValueError):
+            schema.add_class("X", "Nonexistent")    # unknown parent
+
+    def test_cycle_detection(self):
+        with pytest.raises(ValueError):
+            TeleSchema(parents={"A": "B", "B": "A"})
+
+    def test_unknown_parent_detection(self):
+        with pytest.raises(ValueError):
+            TeleSchema(parents={"A": "Missing"})
+
+    def test_subclass_triples(self):
+        schema = TeleSchema()
+        triples = schema.subclass_triples()
+        assert ("Alarm", "subclassOf", "Event") in triples
+        assert all(r == "subclassOf" for _, r, _ in triples)
+
+
+class TestStore:
+    def _small(self):
+        kg = TeleKG()
+        kg.add_entity("A", "alarm a", "Alarm")
+        kg.add_entity("B", "kpi b", "KPI")
+        kg.add_triple("A", "trigger", "B")
+        kg.add_attribute("B", "unit", "percent")
+        return kg
+
+    def test_counts(self):
+        kg = self._small()
+        assert kg.num_entities == 2
+        assert kg.num_triples == 1
+        assert kg.num_attributes == 1
+
+    def test_duplicate_triple_deduplicated(self):
+        kg = self._small()
+        kg.add_triple("A", "trigger", "B")
+        assert kg.num_triples == 1
+
+    def test_unknown_entity_in_triple_raises(self):
+        kg = self._small()
+        with pytest.raises(KeyError):
+            kg.add_triple("A", "trigger", "Z")
+
+    def test_unknown_class_raises(self):
+        kg = TeleKG()
+        with pytest.raises(ValueError):
+            kg.add_entity("X", "x", "NotAClass")
+
+    def test_conflicting_reregistration_raises(self):
+        kg = self._small()
+        with pytest.raises(ValueError):
+            kg.add_entity("A", "different surface", "Alarm")
+
+    def test_idempotent_reregistration(self):
+        kg = self._small()
+        kg.add_entity("A", "alarm a", "Alarm")
+        assert kg.num_entities == 2
+
+    def test_entities_by_class_includes_subclasses(self):
+        kg = self._small()
+        events = kg.entities("Event")
+        assert {e.uid for e in events} == {"A", "B"}
+
+    def test_neighbors(self):
+        kg = self._small()
+        assert kg.neighbors("A") == {"B"}
+        assert kg.neighbors("B") == {"A"}
+
+    def test_entity_by_surface(self):
+        kg = self._small()
+        assert kg.entity_by_surface("alarm a").uid == "A"
+        assert kg.entity_by_surface("nope") is None
+
+    def test_attribute_requires_entity(self):
+        kg = self._small()
+        with pytest.raises(KeyError):
+            kg.add_attribute("Z", "unit", "x")
+
+
+class TestBuilder:
+    def test_trigger_triples_match_causal_graph(self, world, kg):
+        trigger = {(t.head, t.tail) for t in kg.triples_with_relation("trigger")}
+        assert trigger == world.causal_graph.edge_set()
+
+    def test_every_alarm_has_occurs_on(self, world, kg):
+        for alarm in world.ontology.alarms:
+            assert any(t.relation == "occursOn"
+                       for t in kg.triples_from(alarm.uid))
+
+    def test_instances_typed(self, world, kg):
+        for node in world.topology.nodes:
+            assert any(t.relation == "instanceOf"
+                       for t in kg.triples_from(f"NEI-{node}"))
+
+    def test_numeric_attributes_exist(self, kg):
+        numeric = [a for a in kg.attributes if a.is_numeric]
+        assert len(numeric) >= 2 * len(kg.entities("KPI"))
+
+    def test_connected_to_matches_topology(self, world, kg):
+        assert len(kg.triples_with_relation("connectedTo")) == \
+            world.topology.num_edges
+
+    def test_describe(self, kg):
+        stats = kg.describe()
+        assert stats["triples"] == kg.num_triples
+        assert stats["entities"] == kg.num_entities
+
+
+class TestQuery:
+    def test_single_pattern_constant(self, world, kg):
+        alarm = world.ontology.alarms[0]
+        rows = query(kg, [Pattern(alarm.uid, "occursOn", Variable("n"))])
+        assert len(rows) == 1
+        assert rows[0]["n"] == f"NET-{alarm.ne_type}"
+
+    def test_join_two_patterns(self, world, kg):
+        a, k = Variable("a"), Variable("k")
+        ne_uid = f"NET-{world.ontology.alarms[0].ne_type}"
+        rows = query(kg, [Pattern(a, "occursOn", ne_uid),
+                          Pattern(a, "trigger", k)])
+        for row in rows:
+            assert kg.has_triple(row["a"], "occursOn", ne_uid)
+            assert kg.has_triple(row["a"], "trigger", row["k"])
+
+    def test_relation_variable(self, kg):
+        triple = kg.triples[0]
+        rows = query(kg, [Pattern(triple.head, Variable("r"), triple.tail)])
+        assert any(row["r"] == triple.relation for row in rows)
+
+    def test_limit(self, kg):
+        rows = query(kg, [Pattern(Variable("h"), "trigger", Variable("t"))],
+                     limit=3)
+        assert len(rows) == 3
+
+    def test_empty_patterns(self, kg):
+        assert query(kg, []) == []
+
+    def test_no_match(self, kg):
+        assert query(kg, [Pattern("NOPE", "trigger", Variable("x"))]) == []
+
+    def test_ask(self, kg):
+        assert ask(kg, [Pattern(Variable("h"), "trigger", Variable("t"))])
+        assert not ask(kg, [Pattern(Variable("h"), "madeUpRel", Variable("t"))])
+
+    def test_shared_variable_constrains(self, kg):
+        # ?x trigger ?x should never match (no self loops in causal DAG).
+        x = Variable("x")
+        assert query(kg, [Pattern(x, "trigger", x)]) == []
+
+
+class TestSerialization:
+    def test_triple_serialisation_uses_surfaces(self, world, kg):
+        triple = kg.triples_with_relation("trigger")[0]
+        sentence = serialize_triple(kg, triple)
+        assert kg.entity(triple.head).surface in sentence
+        assert "[REL] trigger" in sentence
+
+    def test_serialize_kg_counts(self, kg):
+        all_sentences = serialize_kg(kg, include_attributes=True)
+        rel_only = serialize_kg(kg, include_attributes=False)
+        assert len(rel_only) == kg.num_triples
+        assert len(all_sentences) > len(rel_only)
+
+    def test_significant_attribute_filter(self, kg):
+        significant = serialize_kg(kg, significant_only=True)
+        everything = serialize_kg(kg, significant_only=False)
+        assert len(everything) > len(significant)
+        assert not any("theme" in s.split("[ATTR]")[-1] for s in significant
+                       if "[ATTR]" in s)
+
+
+class TestNegativeSampling:
+    def test_sample_count(self, kg):
+        sampler = NegativeSampler(kg, np.random.default_rng(0))
+        triple = kg.triples[0]
+        negatives = sampler.corrupt(triple, 10)
+        assert len(negatives) == 10
+
+    def test_negatives_not_known_facts(self, kg):
+        sampler = NegativeSampler(kg, np.random.default_rng(0))
+        known = {(t.head, t.relation, t.tail) for t in kg.triples}
+        for triple in kg.triples[:20]:
+            for neg in sampler.corrupt(triple, 6):
+                assert (neg.head, neg.relation, neg.tail) not in known or \
+                    neg == triple  # dense fallback marker
+
+    def test_alternates_head_and_tail(self, kg):
+        sampler = NegativeSampler(kg, np.random.default_rng(1))
+        triple = kg.triples[0]
+        negatives = sampler.corrupt(triple, 8)
+        heads_changed = sum(1 for n in negatives if n.head != triple.head)
+        tails_changed = sum(1 for n in negatives if n.tail != triple.tail)
+        assert heads_changed >= 2 and tails_changed >= 2
+
+    def test_batch(self, kg):
+        sampler = NegativeSampler(kg, np.random.default_rng(2))
+        out = sampler.batch(kg.triples[:4], 3)
+        assert len(out) == 4
+        assert all(len(group) == 3 for group in out)

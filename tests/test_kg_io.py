@@ -1,0 +1,68 @@
+"""Tests for Tele-KG import/export."""
+
+import pytest
+
+from repro.kg import build_tele_kg, export_json, export_ntriples, import_json
+from repro.world import TelecomWorld
+
+
+@pytest.fixture(scope="module")
+def kg():
+    world = TelecomWorld.generate(seed=19, alarms_per_theme=2,
+                                  kpis_per_theme=2, topology_nodes=6)
+    return build_tele_kg(world)
+
+
+class TestNTriples:
+    def test_export_structure(self, kg, tmp_path):
+        path = export_ntriples(kg, tmp_path / "kg.nt")
+        lines = path.read_text().strip().splitlines()
+        assert all(line.endswith(" .") for line in lines)
+        # type facts + label facts + relations + attributes
+        expected = 2 * kg.num_entities + kg.num_triples + kg.num_attributes
+        assert len(lines) == expected
+
+    def test_uri_encoding_roundtrip(self):
+        from repro.kg.io import _decode_uri, _encode_uri
+        assert _decode_uri(_encode_uri("ALM-10001")) == "ALM-10001"
+        assert _decode_uri(_encode_uri("has space")) == "has space"
+        with pytest.raises(ValueError):
+            _decode_uri("http://other")
+
+    def test_numeric_literals_typed(self, kg, tmp_path):
+        path = export_ntriples(kg, tmp_path / "kg.nt")
+        assert "^^xsd:double" in path.read_text()
+
+
+class TestJsonRoundTrip:
+    def test_counts_preserved(self, kg, tmp_path):
+        export_json(kg, tmp_path / "kg.json")
+        restored = import_json(tmp_path / "kg.json")
+        assert restored.describe() == kg.describe()
+
+    def test_triples_preserved(self, kg, tmp_path):
+        export_json(kg, tmp_path / "kg.json")
+        restored = import_json(tmp_path / "kg.json")
+        for triple in kg.triples[:20]:
+            assert restored.has_triple(triple.head, triple.relation,
+                                       triple.tail)
+
+    def test_surfaces_and_classes_preserved(self, kg, tmp_path):
+        export_json(kg, tmp_path / "kg.json")
+        restored = import_json(tmp_path / "kg.json")
+        for entity in kg.entities()[:20]:
+            other = restored.entity(entity.uid)
+            assert other.surface == entity.surface
+            assert other.cls == entity.cls
+
+    def test_numeric_attributes_stay_numeric(self, kg, tmp_path):
+        export_json(kg, tmp_path / "kg.json")
+        restored = import_json(tmp_path / "kg.json")
+        numeric_before = sum(1 for a in kg.attributes if a.is_numeric)
+        numeric_after = sum(1 for a in restored.attributes if a.is_numeric)
+        assert numeric_before == numeric_after
+
+    def test_schema_preserved(self, kg, tmp_path):
+        export_json(kg, tmp_path / "kg.json")
+        restored = import_json(tmp_path / "kg.json")
+        assert restored.schema.parents == kg.schema.parents

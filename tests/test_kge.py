@@ -1,0 +1,135 @@
+"""Tests for TransE/GTransE and link-prediction ranking."""
+
+import numpy as np
+import pytest
+
+from repro.kge import GTransE, TransE, UncertainTriple, link_prediction_ranks
+from repro.nn.optim import Adam
+
+
+def rng():
+    return np.random.default_rng(44)
+
+
+def _chain_triples(n=8):
+    """A simple chain 0->1->2->... with relation 0."""
+    return [(i, 0, i + 1) for i in range(n - 1)]
+
+
+class TestTransE:
+    def test_score_shape(self):
+        model = TransE(5, 2, 8, rng())
+        scores = model.score(np.array([0, 1]), np.array([0, 1]),
+                             np.array([2, 3]))
+        assert scores.shape == (2,)
+        assert (scores.data >= 0).all()
+
+    def test_entity_init(self):
+        init = np.ones((5, 4))
+        model = TransE(5, 2, 4, rng(), entity_init=init)
+        assert np.allclose(model.entity_embeddings.data, 1.0)
+
+    def test_entity_init_shape_validation(self):
+        with pytest.raises(ValueError):
+            TransE(5, 2, 4, rng(), entity_init=np.ones((3, 4)))
+
+    def test_counts_validation(self):
+        with pytest.raises(ValueError):
+            TransE(0, 1, 4, rng())
+
+    def test_score_all_tails(self):
+        model = TransE(6, 2, 4, rng())
+        scores = model.score_all_tails(0, 1)
+        assert scores.shape == (6,)
+
+    def test_normalize_entities(self):
+        model = TransE(5, 2, 4, rng())
+        model.entity_embeddings.data *= 100
+        model.normalize_entities()
+        norms = np.linalg.norm(model.entity_embeddings.data, axis=1)
+        assert (norms <= 1.0 + 1e-9).all()
+
+    def test_training_learns_chain(self):
+        triples = _chain_triples(6)
+        model = TransE(6, 1, 16, rng())
+        opt = Adam(model.parameters(), lr=0.05)
+        gen = np.random.default_rng(0)
+        positives = np.array(triples)
+        for _ in range(150):
+            negatives = positives.copy()
+            corrupt = gen.integers(0, 6, size=len(triples))
+            negatives[:, 2] = corrupt
+            valid = negatives[:, 2] != positives[:, 2]
+            if not valid.any():
+                continue
+            opt.zero_grad()
+            loss = model.margin_loss(positives[valid], negatives[valid],
+                                     margin=1.0)
+            loss.backward()
+            opt.step()
+            model.normalize_entities()
+        ranks = link_prediction_ranks(model, triples, known_triples=triples)
+        assert np.mean(ranks) < 2.5
+
+
+class TestGTransE:
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            UncertainTriple(0, 0, 1, confidence=1.5)
+
+    def test_loss_shape_validation(self):
+        model = GTransE(5, 2, 4, rng())
+        quads = [UncertainTriple(0, 0, 1, 0.9)]
+        with pytest.raises(ValueError):
+            model.confidence_loss(quads, np.zeros((2, 3), dtype=int))
+        with pytest.raises(ValueError):
+            model.confidence_loss([], np.zeros((0, 3), dtype=int))
+
+    def test_confidence_scales_margin(self):
+        """High-confidence facts must yield >= loss than low-confidence ones
+        for identical embeddings (the margin is larger)."""
+        model = GTransE(5, 2, 4, rng(), margin=2.0, alpha=1.0)
+        negatives = np.array([[0, 0, 3]])
+        high = model.confidence_loss([UncertainTriple(0, 0, 1, 1.0)], negatives)
+        low = model.confidence_loss([UncertainTriple(0, 0, 1, 0.1)], negatives)
+        assert float(high.data) >= float(low.data)
+
+    def test_gradients_flow(self):
+        model = GTransE(5, 2, 4, rng())
+        quads = [UncertainTriple(0, 0, 1, 0.9),
+                 UncertainTriple(1, 1, 2, 0.5)]
+        loss = model.confidence_loss(quads, np.array([[0, 0, 3], [1, 1, 4]]))
+        loss.backward()
+        assert model.entity_embeddings.grad is not None
+        assert model.relation_embeddings.grad is not None
+
+
+class TestLinkPredictionRanks:
+    def test_perfect_embeddings_rank_first(self):
+        # Construct embeddings where h + r == t exactly.
+        entities = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [5.0, 5.0]])
+        model = TransE(4, 1, 2, rng(), entity_init=entities)
+        model.relation_embeddings.data[0] = [1.0, 0.0]
+        ranks = link_prediction_ranks(model, [(0, 0, 1), (1, 0, 2)])
+        assert ranks == [1, 1]
+
+    def test_filtering_removes_known_competitors(self):
+        entities = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1e-4], [9.0, 9.0]])
+        model = TransE(4, 1, 2, rng(), entity_init=entities)
+        model.relation_embeddings.data[0] = [1.0, 0.0]
+        # Target (0,0,2); entity 1 is nearly as close but is a known fact.
+        unfiltered = link_prediction_ranks(model, [(0, 0, 2)])
+        filtered = link_prediction_ranks(model, [(0, 0, 2)],
+                                         known_triples=[(0, 0, 1)])
+        assert unfiltered[0] == 2
+        assert filtered[0] == 1
+
+    def test_predict_both_doubles_ranks(self):
+        model = TransE(4, 1, 2, rng())
+        ranks = link_prediction_ranks(model, [(0, 0, 1)], predict="both")
+        assert len(ranks) == 2
+
+    def test_predict_validation(self):
+        model = TransE(4, 1, 2, rng())
+        with pytest.raises(ValueError):
+            link_prediction_ranks(model, [(0, 0, 1)], predict="nope")

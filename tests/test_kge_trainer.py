@@ -1,0 +1,86 @@
+"""Tests for the generic KGE training harness."""
+
+import numpy as np
+import pytest
+
+from repro.kge import (
+    GTransE,
+    KgeTrainer,
+    TransE,
+    UncertainTriple,
+    build_kge_model,
+    link_prediction_ranks,
+)
+
+
+def _chain_triples(n=8):
+    return [(i, 0, i + 1) for i in range(n - 1)]
+
+
+def _uncertain_chain(n=8):
+    return [UncertainTriple(i, 0, i + 1, confidence=0.9)
+            for i in range(n - 1)]
+
+
+class TestKgeTrainer:
+    def test_empty_triples_raises(self):
+        model = TransE(4, 1, 8, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            KgeTrainer(model, [], 4, np.random.default_rng(0))
+
+    def test_loss_decreases_over_epochs(self):
+        triples = _chain_triples()
+        model = TransE(8, 1, 16, np.random.default_rng(0))
+        trainer = KgeTrainer(model, triples, 8, np.random.default_rng(1),
+                             learning_rate=0.05)
+        log = trainer.fit(epochs=25)
+        assert np.mean(log.loss[-5:]) < np.mean(log.loss[:5])
+
+    def test_fit_improves_ranks(self):
+        triples = _chain_triples()
+        model = TransE(8, 1, 16, np.random.default_rng(0))
+        before = np.mean(link_prediction_ranks(model, triples,
+                                               known_triples=triples))
+        trainer = KgeTrainer(model, triples, 8, np.random.default_rng(1),
+                             learning_rate=0.05)
+        trainer.fit(epochs=40)
+        after = np.mean(link_prediction_ranks(model, triples,
+                                              known_triples=triples))
+        assert after < before
+
+    def test_uncertain_triples_use_confidence_loss(self):
+        triples = _uncertain_chain()
+        model = GTransE(8, 1, 16, np.random.default_rng(0))
+        trainer = KgeTrainer(model, triples, 8, np.random.default_rng(1))
+        assert trainer.uncertain
+        loss = trainer.train_epoch()
+        assert np.isfinite(loss)
+
+    def test_validation_selection_restores_best(self):
+        triples = _chain_triples()
+        valid = triples[:2]
+        model = TransE(8, 1, 16, np.random.default_rng(0))
+        trainer = KgeTrainer(model, triples, 8, np.random.default_rng(1),
+                             learning_rate=0.05)
+        log = trainer.fit(epochs=10, valid_triples=valid, validate_every=2)
+        assert log.valid_mrr  # validation happened
+        assert all(0.0 <= v <= 1.0 for v in log.valid_mrr)
+
+    def test_negatives_avoid_known_facts(self):
+        triples = _chain_triples(5)
+        model = TransE(5, 1, 8, np.random.default_rng(0))
+        trainer = KgeTrainer(model, triples, 5, np.random.default_rng(2))
+        known = set(triples)
+        for triple in triples:
+            for _ in range(20):
+                corrupted = trainer._corrupt(triple)
+                assert corrupted not in known or \
+                    corrupted == (triple[0], triple[1],
+                                  (triple[2] + 1) % 5)  # fallback branch
+
+    def test_works_with_every_registered_model(self):
+        triples = _chain_triples(5)
+        for name in ("transh", "distmult", "complex", "rotate"):
+            model = build_kge_model(name, 5, 1, 8, np.random.default_rng(0))
+            trainer = KgeTrainer(model, triples, 5, np.random.default_rng(1))
+            assert np.isfinite(trainer.train_epoch())

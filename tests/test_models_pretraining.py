@@ -1,0 +1,295 @@
+"""Tests for masking, ELECTRA, KE objective, and TeleBERT pre-training."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BertConfig,
+    ElectraPretrainer,
+    KnowledgeEmbeddingObjective,
+    TeleBertTrainer,
+    pretrain_telebert,
+)
+from repro.models.ke import transe_distance
+from repro.tensor import Tensor
+from repro.tokenization import Vocab, WholeWordSegmenter, WordTokenizer
+from repro.training import BatchIterator, DynamicMasker, build_strategy
+from repro.training.masking import IGNORE_INDEX
+from repro.training.mtl import TASK_KE, TASK_MASK
+
+
+CORPUS = [
+    "the link failure leads to session drops",
+    "the registration success rate decreases after the alarm",
+    "network congestion points affect the paging channel",
+    "the session establishment service rejects incoming requests",
+    "clock synchronisation source is lost on the board",
+    "license utilisation percentage exceeds the threshold",
+] * 3
+
+
+def _tokenizer():
+    return WordTokenizer.from_corpus(CORPUS, max_length=16)
+
+
+class TestDynamicMasker:
+    def _masker(self, rate=0.4, segmenter=None):
+        tok = _tokenizer()
+        return tok, DynamicMasker(tok.vocab, np.random.default_rng(0),
+                                  masking_rate=rate, segmenter=segmenter)
+
+    def test_rate_validation(self):
+        tok = _tokenizer()
+        with pytest.raises(ValueError):
+            DynamicMasker(tok.vocab, np.random.default_rng(0), masking_rate=0.0)
+        with pytest.raises(ValueError):
+            DynamicMasker(tok.vocab, np.random.default_rng(0),
+                          masking_rate=0.4, mask_token_prob=0.8,
+                          random_token_prob=0.3)
+
+    def test_labels_match_originals(self):
+        tok, masker = self._masker()
+        ids, mask = tok.encode_batch(CORPUS[:4])
+        out = masker.mask_batch(ids, mask)
+        rows, cols = np.nonzero(out.mask_positions)
+        assert len(rows) > 0
+        assert np.array_equal(out.labels[rows, cols], ids[rows, cols])
+        unmasked = out.labels[~out.mask_positions]
+        assert (unmasked == IGNORE_INDEX).all()
+
+    def test_specials_never_masked(self):
+        tok, masker = self._masker(rate=0.9)
+        ids, mask = tok.encode_batch(CORPUS[:4])
+        out = masker.mask_batch(ids, mask)
+        for special_id in (tok.vocab.cls_id, tok.vocab.sep_id, tok.vocab.pad_id):
+            positions = ids == special_id
+            assert not out.mask_positions[positions].any()
+
+    def test_padding_never_masked(self):
+        tok, masker = self._masker()
+        ids, mask = tok.encode_batch(["the link failure", CORPUS[1]])
+        out = masker.mask_batch(ids, mask)
+        assert not out.mask_positions[mask == 0].any()
+
+    def test_masking_rate_approximate(self):
+        tok, masker = self._masker(rate=0.4)
+        ids, mask = tok.encode_batch(CORPUS)
+        out = masker.mask_batch(ids, mask)
+        candidates = (mask == 1).sum() - 2 * len(CORPUS)  # minus CLS/SEP
+        observed = out.num_masked / candidates
+        assert 0.25 < observed < 0.55
+
+    def test_dynamic_patterns_differ(self):
+        tok, masker = self._masker()
+        ids, mask = tok.encode_batch(CORPUS[:4])
+        a = masker.mask_batch(ids, mask).mask_positions
+        b = masker.mask_batch(ids, mask).mask_positions
+        assert not np.array_equal(a, b)
+
+    def test_wwm_masks_whole_phrases(self):
+        segmenter = WholeWordSegmenter([["network", "congestion", "points"]])
+        tok, masker = self._masker(rate=0.3, segmenter=segmenter)
+        text = "network congestion points affect the paging channel"
+        ids, mask = tok.encode_batch([text] * 8)
+        tokens = [tok.encode(text).tokens] * 8
+        out = masker.mask_batch(ids, mask, tokens=tokens)
+        # Whenever any phrase token is masked, the entire phrase must be.
+        phrase_cols = [1, 2, 3]  # after [CLS]
+        for row in range(8):
+            phrase_masked = out.mask_positions[row, phrase_cols]
+            assert phrase_masked.all() or not phrase_masked.any()
+
+    def test_excluded_positions_respected(self):
+        tok, masker = self._masker(rate=0.9)
+        ids, mask = tok.encode_batch(CORPUS[:2])
+        excluded = [{1, 2}, set()]
+        out = masker.mask_batch(ids, mask, excluded_positions=excluded)
+        assert not out.mask_positions[0, 1] and not out.mask_positions[0, 2]
+
+
+class TestBatchIterator:
+    def test_covers_epoch(self):
+        it = BatchIterator(list(range(10)), 3, np.random.default_rng(0))
+        seen = [x for batch in it for x in batch]
+        assert sorted(seen) == list(range(10))
+
+    def test_next_batch_cycles(self):
+        it = BatchIterator([1, 2, 3], 2, np.random.default_rng(0))
+        collected = [it.next_batch() for _ in range(4)]
+        assert all(len(b) >= 1 for b in collected)
+        assert it.epochs_completed >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchIterator([], 2, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            BatchIterator([1], 0, np.random.default_rng(0))
+
+
+class TestElectra:
+    def test_step_losses_finite(self):
+        tok = _tokenizer()
+        config = BertConfig(vocab_size=len(tok.vocab), d_model=16,
+                            num_layers=1, num_heads=2, d_ff=32, max_len=16,
+                            dropout=0.0)
+        pretrainer = ElectraPretrainer(config, np.random.default_rng(0))
+        masker = DynamicMasker(tok.vocab, np.random.default_rng(1),
+                               masking_rate=0.3)
+        ids, mask = tok.encode_batch(CORPUS[:4])
+        out = pretrainer.step(ids, mask, masker)
+        assert np.isfinite(out.total.data)
+        assert out.generator_loss > 0
+        assert out.discriminator_loss > 0
+        assert 0.0 <= out.replaced_fraction <= 1.0
+
+    def test_generator_is_smaller(self):
+        tok = _tokenizer()
+        config = BertConfig(vocab_size=len(tok.vocab), d_model=16,
+                            num_layers=1, num_heads=2, d_ff=32, max_len=16)
+        pretrainer = ElectraPretrainer(config, np.random.default_rng(0))
+        assert pretrainer.generator.config.d_model < config.d_model
+
+    def test_gradients_reach_both_models(self):
+        tok = _tokenizer()
+        config = BertConfig(vocab_size=len(tok.vocab), d_model=16,
+                            num_layers=1, num_heads=2, d_ff=32, max_len=16,
+                            dropout=0.0)
+        pretrainer = ElectraPretrainer(config, np.random.default_rng(0))
+        masker = DynamicMasker(tok.vocab, np.random.default_rng(1),
+                               masking_rate=0.3)
+        ids, mask = tok.encode_batch(CORPUS[:4])
+        pretrainer.step(ids, mask, masker).total.backward()
+        gen_grads = [p.grad is not None for p in pretrainer.generator.parameters()]
+        disc_grads = [p.grad is not None
+                      for p in pretrainer.discriminator.parameters()]
+        assert any(gen_grads) and any(disc_grads)
+
+
+class TestKnowledgeEmbedding:
+    def test_transe_distance(self):
+        h = Tensor(np.array([[1.0, 0.0]]))
+        r = Tensor(np.array([[0.0, 1.0]]))
+        t = Tensor(np.array([[1.0, 1.0]]))
+        assert np.allclose(transe_distance(h, r, t).data, 0.0, atol=1e-6)
+
+    def test_loss_decreases_for_good_embeddings(self):
+        objective = KnowledgeEmbeddingObjective(gamma=1.0)
+        rng = np.random.default_rng(0)
+        # Perfect: h + r == t; negatives far away.
+        h = Tensor(rng.normal(size=(4, 8)))
+        r = Tensor(rng.normal(size=(4, 8)))
+        t = h + r
+        neg_h = Tensor(rng.normal(5.0, 1.0, size=(4, 3, 8)))
+        neg_t = Tensor(rng.normal(-5.0, 1.0, size=(4, 3, 8)))
+        neg_r = r.expand_dims(1)
+        good = objective.loss(h, r, t, neg_h, neg_r, neg_t)
+        bad = objective.loss(h, r, Tensor(rng.normal(5, 1, size=(4, 8))),
+                             h.expand_dims(1) + Tensor(np.zeros((4, 3, 8))),
+                             neg_r,
+                             (h + r).expand_dims(1) + Tensor(np.zeros((4, 3, 8))))
+        assert float(good.data) < float(bad.data)
+
+    def test_adversarial_weighting(self):
+        objective = KnowledgeEmbeddingObjective(gamma=1.0,
+                                                adversarial_temperature=1.0)
+        rng = np.random.default_rng(1)
+        h = Tensor(rng.normal(size=(2, 4)))
+        r = Tensor(rng.normal(size=(2, 4)))
+        t = Tensor(rng.normal(size=(2, 4)))
+        loss = objective.loss(h, r, t,
+                              Tensor(rng.normal(size=(2, 5, 4))),
+                              r.expand_dims(1),
+                              Tensor(rng.normal(size=(2, 5, 4))))
+        assert np.isfinite(loss.data)
+
+
+class TestTeleBertTrainer:
+    def test_training_reduces_loss(self):
+        trainer = TeleBertTrainer(CORPUS, seed=0, d_model=16, num_layers=1,
+                                  num_heads=2, d_ff=32, max_len=16,
+                                  batch_size=6, learning_rate=3e-3)
+        log = trainer.train(steps=30)
+        early = np.mean(log.total[:5])
+        late = np.mean(log.total[-5:])
+        assert late < early
+
+    def test_encode_sentences_deterministic(self):
+        trainer = pretrain_telebert(CORPUS, steps=3, seed=0, d_model=16,
+                                    num_layers=1, num_heads=2, d_ff=32,
+                                    max_len=16)
+        a = trainer.encode_sentences(CORPUS[:3])
+        b = trainer.encode_sentences(CORPUS[:3])
+        assert np.allclose(a, b)
+        assert a.shape == (3, 16)
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            TeleBertTrainer([], seed=0)
+
+    def test_wwm_phrases_accepted(self):
+        trainer = TeleBertTrainer(CORPUS, seed=0, d_model=16, num_layers=1,
+                                  num_heads=2, d_ff=32, max_len=16,
+                                  wwm_phrases=["network congestion points"])
+        assert trainer.masker.segmenter is not None
+        trainer.train(steps=2)
+
+
+class TestMtlStrategies:
+    def test_stl_is_mask_only(self):
+        strategy = build_strategy("stl", 100)
+        assert strategy.tasks_at(0) == frozenset({TASK_MASK})
+        assert strategy.tasks_at(99) == frozenset({TASK_MASK})
+        assert not strategy.uses_ke()
+
+    def test_pmtl_always_both(self):
+        strategy = build_strategy("pmtl", 100)
+        for step in (0, 50, 99):
+            assert strategy.tasks_at(step) == frozenset({TASK_MASK, TASK_KE})
+
+    def test_imtl_stages(self):
+        strategy = build_strategy("imtl", 100)
+        assert strategy.tasks_at(0) == frozenset({TASK_MASK})
+        assert strategy.tasks_at(50) == frozenset({TASK_KE})
+        assert strategy.tasks_at(99) == frozenset({TASK_MASK, TASK_KE})
+        assert strategy.uses_ke()
+
+    def test_imtl_covers_all_steps(self):
+        for total in (7, 10, 60, 1000):
+            strategy = build_strategy("imtl", total)
+            for step in range(total):
+                assert strategy.tasks_at(step)  # never empty
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            build_strategy("nope", 10)
+
+    def test_step_out_of_range(self):
+        strategy = build_strategy("stl", 10)
+        with pytest.raises(IndexError):
+            strategy.tasks_at(10)
+
+
+class TestMlmEvaluation:
+    def test_accuracy_improves_with_training(self):
+        held_out = CORPUS[:6]
+        trainer = TeleBertTrainer(CORPUS, seed=0, d_model=16, num_layers=1,
+                                  num_heads=2, d_ff=32, max_len=16,
+                                  batch_size=6, learning_rate=3e-3)
+        before = trainer.evaluate_mlm_accuracy(held_out, seed=5)
+        trainer.train(steps=60)
+        after = trainer.evaluate_mlm_accuracy(held_out, seed=5)
+        assert 0.0 <= before <= 1.0
+        assert after >= before
+
+    def test_empty_input_raises(self):
+        trainer = TeleBertTrainer(CORPUS, seed=0, d_model=16, num_layers=1,
+                                  num_heads=2, d_ff=32, max_len=16)
+        with pytest.raises(ValueError):
+            trainer.evaluate_mlm_accuracy([])
+
+    def test_deterministic_given_seed(self):
+        trainer = TeleBertTrainer(CORPUS, seed=0, d_model=16, num_layers=1,
+                                  num_heads=2, d_ff=32, max_len=16)
+        a = trainer.evaluate_mlm_accuracy(CORPUS[:4], seed=3)
+        b = trainer.evaluate_mlm_accuracy(CORPUS[:4], seed=3)
+        assert a == b

@@ -1,0 +1,242 @@
+"""Tests for the adaptive numeric encoder stack (Sec. IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.numeric import (
+    AdaptiveNumericEncoder,
+    ANEncLayer,
+    NumericDecoder,
+    NumericLossComputer,
+    TagClassifier,
+    TagNormalizer,
+)
+from repro.tensor import Tensor
+
+
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestTagNormalizer:
+    def test_fit_transform_range(self):
+        norm = TagNormalizer().fit(["a", "a", "b"], [0.0, 10.0, 5.0])
+        assert norm.transform_one("a", 0.0) == 0.0
+        assert norm.transform_one("a", 10.0) == 1.0
+        assert norm.transform_one("a", 5.0) == 0.5
+
+    def test_per_tag_ranges_independent(self):
+        norm = TagNormalizer().fit(["a", "a", "b", "b"], [0, 10, 100, 200])
+        assert norm.transform_one("b", 150) == 0.5
+
+    def test_unseen_tag_uses_global_range(self):
+        norm = TagNormalizer().fit(["a", "a"], [0.0, 100.0])
+        assert norm.transform_one("new", 50.0) == 0.5
+
+    def test_clipping_outside_range(self):
+        norm = TagNormalizer().fit(["a", "a"], [0.0, 1.0])
+        assert norm.transform_one("a", 5.0) == 1.0
+        assert norm.transform_one("a", -5.0) == 0.0
+
+    def test_constant_tag_maps_to_half(self):
+        norm = TagNormalizer().fit(["a", "a"], [3.0, 3.0])
+        assert norm.transform_one("a", 3.0) == 0.5
+
+    def test_inverse_transform(self):
+        norm = TagNormalizer().fit(["a", "a"], [10.0, 20.0])
+        assert norm.inverse_transform_one("a", 0.5) == 15.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TagNormalizer().transform_one("a", 1.0)
+
+    def test_misaligned_fit_raises(self):
+        with pytest.raises(ValueError):
+            TagNormalizer().fit(["a"], [1.0, 2.0])
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            TagNormalizer().fit([], [])
+
+    def test_vectorised_transform(self):
+        norm = TagNormalizer().fit(["a", "a"], [0.0, 10.0])
+        out = norm.transform(["a", "a"], [0.0, 10.0])
+        assert np.allclose(out, [0.0, 1.0])
+
+
+class TestANEncLayer:
+    def test_attention_is_distribution(self):
+        layer = ANEncLayer(d_model=8, num_meta=4, lora_rank=2, rng=rng())
+        tags = Tensor(np.random.default_rng(0).normal(size=(3, 8)))
+        attn = layer.attention_scores(tags)
+        assert attn.shape == (3, 4)
+        assert np.allclose(attn.data.sum(axis=-1), 1.0)
+
+    def test_forward_shape(self):
+        layer = ANEncLayer(d_model=8, num_meta=2, lora_rank=2, rng=rng())
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 8)))
+        tags = Tensor(np.random.default_rng(1).normal(size=(5, 8)))
+        assert layer(x, tags).shape == (5, 8)
+
+    def test_indivisible_meta_raises(self):
+        with pytest.raises(ValueError):
+            ANEncLayer(d_model=9, num_meta=4, lora_rank=2, rng=rng())
+
+    def test_lora_rank_validation(self):
+        with pytest.raises(ValueError):
+            ANEncLayer(d_model=8, num_meta=2, lora_rank=16, rng=rng())
+
+    def test_different_tags_give_different_mixes(self):
+        layer = ANEncLayer(d_model=8, num_meta=4, lora_rank=2, rng=rng())
+        x = Tensor(np.ones((2, 8)))
+        tags = Tensor(np.random.default_rng(2).normal(0, 3, size=(2, 8)))
+        out = layer(x, tags).data
+        assert not np.allclose(out[0], out[1])
+
+    def test_value_params_exposed(self):
+        layer = ANEncLayer(d_model=8, num_meta=4, lora_rank=2, rng=rng())
+        assert len(layer.value_params) == 4
+        assert all(p.shape == (8, 8) for p in layer.value_params)
+
+
+class TestAdaptiveNumericEncoder:
+    def _enc(self, layers=2):
+        return AdaptiveNumericEncoder(d_model=8, num_layers=layers,
+                                      num_meta=4, lora_rank=2, rng=rng())
+
+    def test_forward_shape(self):
+        enc = self._enc()
+        tags = Tensor(np.random.default_rng(0).normal(size=(6, 8)))
+        out = enc(np.linspace(0, 1, 6), tags)
+        assert out.shape == (6, 8)
+
+    def test_different_values_different_embeddings(self):
+        enc = self._enc()
+        tags = Tensor(np.tile(np.random.default_rng(0).normal(size=(1, 8)),
+                              (2, 1)))
+        out = enc(np.array([0.0, 1.0]), tags).data
+        assert not np.allclose(out[0], out[1])
+
+    def test_misaligned_inputs_raise(self):
+        enc = self._enc()
+        with pytest.raises(ValueError):
+            enc(np.zeros(3), Tensor(np.zeros((2, 8))))
+
+    def test_invalid_layer_count(self):
+        with pytest.raises(ValueError):
+            AdaptiveNumericEncoder(d_model=8, num_layers=0, rng=rng())
+
+    def test_value_transform_matrices_count(self):
+        enc = self._enc(layers=3)
+        assert len(enc.value_transform_matrices()) == 3 * 4
+
+    def test_gradients_flow_to_meta_embeddings(self):
+        enc = self._enc()
+        tags = Tensor(np.random.default_rng(0).normal(size=(4, 8)))
+        enc(np.linspace(0, 1, 4), tags).sum().backward()
+        for layer in enc.layers:
+            assert layer.meta_embeddings.grad is not None
+            assert layer.query_proj.grad is not None
+        assert enc.value_lift.grad is not None
+
+
+class TestHeads:
+    def test_ndec_shape(self):
+        dec = NumericDecoder(8, rng())
+        out = dec(Tensor(np.zeros((5, 8))))
+        assert out.shape == (5,)
+
+    def test_tgc_logits_shape(self):
+        tgc = TagClassifier(8, num_tags=7, rng=rng())
+        out = tgc(Tensor(np.zeros((3, 8))))
+        assert out.shape == (3, 7)
+
+    def test_tgc_loss_positive(self):
+        tgc = TagClassifier(8, num_tags=4, rng=rng())
+        emb = Tensor(np.random.default_rng(0).normal(size=(6, 8)))
+        loss = tgc.loss(emb, np.array([0, 1, 2, 3, 0, 1]))
+        assert loss.data > 0
+
+    def test_tgc_needs_two_tags(self):
+        with pytest.raises(ValueError):
+            TagClassifier(8, num_tags=1, rng=rng())
+
+
+class TestNumericLoss:
+    def _setup(self):
+        encoder = AdaptiveNumericEncoder(d_model=8, num_layers=1, num_meta=2,
+                                         lora_rank=2, rng=rng())
+        decoder = NumericDecoder(8, rng())
+        tgc = TagClassifier(8, num_tags=3, rng=rng())
+        gen = np.random.default_rng(4)
+        tags = Tensor(gen.normal(size=(6, 8)))
+        values = gen.random(6)
+        tag_ids = gen.integers(0, 3, 6)
+        h = encoder(values, tags)
+        decoded = decoder(h)
+        return encoder, decoder, tgc, h, decoded, values, tag_ids
+
+    def test_all_components_present(self):
+        encoder, _, tgc, h, decoded, values, tag_ids = self._setup()
+        computer = NumericLossComputer()
+        out = computer(encoder, h, decoded, values, tgc, tag_ids)
+        assert np.isfinite(out.total.data)
+        assert out.regression > 0
+        assert out.classification > 0
+        assert out.contrastive > 0
+        assert out.orthogonal >= 0
+
+    def test_optional_tag_classifier(self):
+        encoder, _, _, h, decoded, values, _ = self._setup()
+        computer = NumericLossComputer(use_tag_classifier=False)
+        out = computer(encoder, h, decoded, values)
+        assert out.classification == 0.0
+        assert computer.awl.num_tasks == 2
+
+    def test_missing_classifier_raises(self):
+        encoder, _, _, h, decoded, values, _ = self._setup()
+        computer = NumericLossComputer(use_tag_classifier=True)
+        with pytest.raises(ValueError):
+            computer(encoder, h, decoded, values)
+
+    def test_contrastive_can_be_disabled(self):
+        encoder, _, tgc, h, decoded, values, tag_ids = self._setup()
+        computer = NumericLossComputer(use_contrastive=False)
+        out = computer(encoder, h, decoded, values, tgc, tag_ids)
+        assert out.contrastive == 0.0
+
+    def test_training_reduces_regression_loss(self):
+        """End-to-end sanity: ANEnc + NDec can learn to reconstruct values."""
+        gen = np.random.default_rng(7)
+        encoder = AdaptiveNumericEncoder(d_model=8, num_layers=1, num_meta=2,
+                                         lora_rank=2,
+                                         rng=np.random.default_rng(1))
+        decoder = NumericDecoder(8, np.random.default_rng(2))
+        tags = Tensor(gen.normal(size=(16, 8)))
+        values = gen.random(16)
+        params = encoder.parameters() + decoder.parameters()
+        opt = nn.Adam(params, lr=1e-2)
+        first = None
+        from repro.tensor import functional as F
+        for step in range(60):
+            opt.zero_grad()
+            h = encoder(values, tags)
+            loss = F.mse_loss(decoder(h), values)
+            if first is None:
+                first = float(loss.data)
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < first * 0.5
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                min_size=2, max_size=20))
+def test_normalizer_output_always_in_unit_interval(values):
+    tags = ["t"] * len(values)
+    norm = TagNormalizer().fit(tags, values)
+    out = norm.transform(tags, values)
+    assert np.all(out >= 0.0) and np.all(out <= 1.0)

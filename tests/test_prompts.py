@@ -1,0 +1,91 @@
+"""Tests for prompt templates (Fig. 3)."""
+
+from repro.prompts import (
+    ALL_PROMPT_TOKENS,
+    FIELD_SEPARATOR,
+    wrap_alarm_log,
+    wrap_attribute,
+    wrap_document_sentence,
+    wrap_entity,
+    wrap_kpi_log,
+    wrap_log_record,
+    wrap_triple,
+)
+from repro.tokenization import basic_tokenize
+from repro.world import TelecomWorld
+
+
+class TestPromptTokens:
+    def test_eight_prompt_tokens(self):
+        assert len(ALL_PROMPT_TOKENS) == 8
+        assert "[ALM]" in ALL_PROMPT_TOKENS
+        assert "[NUM]" in ALL_PROMPT_TOKENS
+
+    def test_prompt_tokens_survive_tokenization(self):
+        wrapped = wrap_alarm_log("link failure", severity="critical")
+        tokens = basic_tokenize(wrapped)
+        assert tokens[0] == "[ALM]"
+        assert "[ATTR]" in tokens
+
+
+class TestTemplates:
+    def test_alarm_template(self):
+        out = wrap_alarm_log("The NF destination service is unreachable",
+                             severity="critical", location="SMF-01",
+                             attributes={"interface": "N11"})
+        assert out.startswith("[ALM] The NF destination service")
+        assert f"[ATTR] severity {FIELD_SEPARATOR} critical" in out
+        assert "[LOC] SMF-01" in out
+        assert f"[ATTR] interface {FIELD_SEPARATOR} N11" in out
+
+    def test_alarm_minimal(self):
+        out = wrap_alarm_log("link failure")
+        assert out == "[ALM] link failure"
+
+    def test_kpi_template_marks_numeric(self):
+        out = wrap_kpi_log("registration success rate", value=97.5)
+        assert out.startswith("[KPI] registration success rate")
+        assert "[NUM] 97.5" in out
+
+    def test_kpi_without_value(self):
+        out = wrap_kpi_log("registration success rate")
+        assert "[NUM]" not in out
+
+    def test_triple_template(self):
+        out = wrap_triple("alarm A", "trigger", "KPI B")
+        assert out == "[ENT] alarm A | [REL] trigger | [ENT] KPI B"
+
+    def test_attribute_numeric_gets_num_token(self):
+        out = wrap_attribute("KPI X", "normal high", 42.0)
+        assert "[NUM] 42" in out
+
+    def test_attribute_string_has_no_num_token(self):
+        out = wrap_attribute("alarm A", "severity", "major")
+        assert "[NUM]" not in out
+        assert out.endswith("major")
+
+    def test_attribute_bool_not_numeric(self):
+        out = wrap_attribute("alarm A", "acknowledged", True)
+        assert "[NUM]" not in out
+
+    def test_entity_with_attributes(self):
+        out = wrap_entity("alarm A", {"severity": "major", "count": 3})
+        assert out.startswith("[ENT] alarm A")
+        assert "[ATTR] severity | major" in out
+        assert "[ATTR] count | [NUM] 3" in out
+
+    def test_document_template(self):
+        assert wrap_document_sentence("hello") == "[DOC] hello"
+
+
+class TestLogRecordDispatch:
+    def test_dispatch(self):
+        world = TelecomWorld.generate(seed=5)
+        episode = world.simulator().simulate(0, background_kpi_count=3)
+        for record in episode.records:
+            wrapped = wrap_log_record(record)
+            if record.kind == "alarm":
+                assert wrapped.startswith("[ALM]")
+            else:
+                assert wrapped.startswith("[KPI]")
+                assert "[NUM]" in wrapped

@@ -1,0 +1,114 @@
+"""Tests for the service-delivery embedding providers."""
+
+import numpy as np
+import pytest
+
+from repro.models import KTeleBert, KTeleBertConfig, TeleBertTrainer
+from repro.service import (
+    KTeleBertProvider,
+    PlmProvider,
+    RandomProvider,
+    WordEmbeddingProvider,
+)
+from repro.corpus import build_tele_corpus
+from repro.kg import build_tele_kg
+from repro.training.stage2 import build_stage2_data
+from repro.world import TelecomWorld
+
+
+@pytest.fixture(scope="module")
+def stack():
+    world = TelecomWorld.generate(seed=23, alarms_per_theme=2,
+                                  kpis_per_theme=2, topology_nodes=6)
+    corpus = build_tele_corpus(world, seed=23)
+    kg = build_tele_kg(world)
+    episodes = world.simulate_episodes(3)
+    trainer = TeleBertTrainer(corpus.sentences, seed=23, d_model=16,
+                              num_layers=1, num_heads=2, d_ff=32, max_len=24)
+    trainer.train(steps=3)
+    data = build_stage2_data(corpus, episodes, kg, seed=23, ke_negatives=2)
+    model = KTeleBert.from_telebert(
+        trainer, KTeleBertConfig(anenc_layers=1, anenc_meta=2, lora_rank=2),
+        tag_names=data.tag_names, normalizer=data.normalizer,
+        extra_vocabulary=data.vocabulary(), seed=23)
+    return world, kg, trainer, model
+
+
+class TestRandomProvider:
+    def test_shape_and_stability(self):
+        provider = RandomProvider(dim=8, seed=0)
+        a = provider.encode_names(["alarm one", "alarm two"])
+        b = provider.encode_names(["alarm one"])
+        assert a.shape == (2, 8)
+        assert np.allclose(a[0], b[0])  # cached per name
+
+    def test_distinct_names_differ(self):
+        provider = RandomProvider(dim=8, seed=0)
+        out = provider.encode_names(["a", "b"])
+        assert not np.allclose(out[0], out[1])
+
+
+class TestWordEmbeddingProvider:
+    def test_average_of_words(self):
+        provider = WordEmbeddingProvider(dim=8, seed=0)
+        ab = provider.encode_names(["alpha beta"])[0]
+        a = provider.encode_names(["alpha"])[0]
+        b = provider.encode_names(["beta"])[0]
+        assert np.allclose(ab, (a + b) / 2)
+
+    def test_shared_words_give_similar_embeddings(self):
+        provider = WordEmbeddingProvider(dim=32, seed=0)
+        out = provider.encode_names(["link failure alarm",
+                                     "link failure warning",
+                                     "paging storm detected"])
+        sim_close = np.dot(out[0], out[1])
+        sim_far = np.dot(out[0], out[2])
+        assert sim_close > sim_far
+
+
+class TestPlmProvider:
+    def test_encodes_with_trainer(self, stack):
+        _, _, trainer, _ = stack
+        provider = PlmProvider(trainer, label="TeleBERT")
+        out = provider.encode_names(["the link failure leads to drops"])
+        assert out.shape == (1, trainer.config.d_model)
+        assert provider.label == "TeleBERT"
+
+
+class TestKTeleBertProvider:
+    def test_mode_validation(self, stack):
+        _, kg, _, model = stack
+        with pytest.raises(ValueError):
+            KTeleBertProvider(model, kg, mode="bogus")
+        with pytest.raises(ValueError):
+            KTeleBertProvider(model, None, mode="entity")
+
+    def test_name_mode(self, stack):
+        _, _, _, model = stack
+        provider = KTeleBertProvider(model, mode="name")
+        out = provider.encode_names(["some alarm name"])
+        assert out.shape == (1, model.bert_config.d_model)
+
+    def test_entity_mode_wraps_known_surfaces(self, stack):
+        world, kg, _, model = stack
+        provider = KTeleBertProvider(model, kg, mode="entity")
+        surface = world.ontology.alarms[0].name
+        out = provider.encode_names([surface, "unknown target name"])
+        assert out.shape[0] == 2
+
+    def test_entity_attr_mode_differs_from_entity(self, stack):
+        world, kg, _, model = stack
+        surface = world.ontology.kpis[0].name  # has numeric attributes
+        plain = KTeleBertProvider(model, kg, mode="entity").encode_names(
+            [surface])
+        with_attr = KTeleBertProvider(model, kg,
+                                      mode="entity_attr").encode_names(
+            [surface])
+        assert not np.allclose(plain, with_attr)
+
+    def test_three_modes_all_produce_vectors(self, stack):
+        world, kg, _, model = stack
+        names = [e.name for e in world.ontology.events[:4]]
+        for mode in ("name", "entity", "entity_attr"):
+            provider = KTeleBertProvider(model, kg, mode=mode)
+            assert provider.encode_names(names).shape == (4, 16)

@@ -1,0 +1,219 @@
+"""Tests for the three downstream tasks: datasets, models, experiments."""
+
+import numpy as np
+import pytest
+
+from repro.service import RandomProvider, WordEmbeddingProvider
+from repro.tasks.eap import EapExperiment, EapModel, build_eap_dataset
+from repro.tasks.fct import FctExperiment, build_fct_dataset
+from repro.tasks.rca import RcaExperiment, RcaModel, RcaState, build_rca_dataset
+from repro.world import TelecomWorld
+
+
+@pytest.fixture(scope="module")
+def world():
+    return TelecomWorld.generate(seed=17, alarms_per_theme=3,
+                                 kpis_per_theme=2, topology_nodes=10)
+
+
+@pytest.fixture(scope="module")
+def episodes(world):
+    return world.simulate_episodes(30)
+
+
+class TestRcaData:
+    def test_states_built(self, world, episodes):
+        dataset = build_rca_dataset(world, episodes)
+        assert len(dataset.states) > 10
+        assert dataset.num_features == len(world.ontology.events)
+
+    def test_root_node_has_events(self, world, episodes):
+        dataset = build_rca_dataset(world, episodes)
+        for state in dataset.states:
+            assert state.features[state.root_index].sum() > 0
+
+    def test_normalized_adjacency_rows(self, world, episodes):
+        dataset = build_rca_dataset(world, episodes)
+        norm = dataset.states[0].normalized_adjacency()
+        eigenvalues = np.linalg.eigvalsh(norm)
+        assert eigenvalues.max() <= 1.0 + 1e-9  # spectral bound of sym-norm adj
+
+    def test_describe_matches_table3_shape(self, world, episodes):
+        dataset = build_rca_dataset(world, episodes)
+        stats = dataset.describe()
+        assert set(stats) == {"graphs", "features", "avg_nodes", "avg_edges"}
+
+    def test_state_validation(self):
+        with pytest.raises(ValueError):
+            RcaState(node_names=["a"], adjacency=np.zeros((2, 2)),
+                     features=np.zeros((1, 3)), root_index=0)
+        with pytest.raises(ValueError):
+            RcaState(node_names=["a", "b"], adjacency=np.zeros((2, 2)),
+                     features=np.zeros((2, 3)), root_index=5)
+
+
+class TestRcaModel:
+    def test_node_initialisation_averages(self):
+        state = RcaState(node_names=["a", "b"],
+                         adjacency=np.array([[0.0, 1.0], [1.0, 0.0]]),
+                         features=np.array([[2.0, 0.0], [0.0, 0.0]]),
+                         root_index=0)
+        embeddings = np.array([[1.0, 1.0], [3.0, 3.0]])
+        h = RcaModel.node_initialisation(state, embeddings)
+        assert np.allclose(h[0], [1.0, 1.0])
+        assert np.allclose(h[1], 0.0)
+
+    def test_forward_scores_every_node(self, world, episodes):
+        dataset = build_rca_dataset(world, episodes)
+        model = RcaModel(8, np.random.default_rng(0), gcn_hidden=8,
+                         gcn_out=4, mlp_hidden=4)
+        emb = np.random.default_rng(1).normal(
+            size=(dataset.num_features, 8))
+        scores = model(dataset.states[0], emb)
+        assert scores.shape == (dataset.states[0].num_nodes,)
+
+    def test_loss_decreases_with_training(self, world, episodes):
+        from repro.nn.optim import Adam
+        dataset = build_rca_dataset(world, episodes)
+        model = RcaModel(8, np.random.default_rng(0), gcn_hidden=8,
+                         gcn_out=4, mlp_hidden=4)
+        emb = np.random.default_rng(1).normal(size=(dataset.num_features, 8))
+        state = dataset.states[0]
+        opt = Adam(model.parameters(), lr=1e-2)
+        first = float(model.loss(state, emb).data)
+        for _ in range(30):
+            opt.zero_grad()
+            loss = model.loss(state, emb)
+            loss.backward()
+            opt.step()
+        assert float(model.loss(state, emb).data) < first
+
+
+class TestRcaExperiment:
+    def test_run_with_random_provider(self, world, episodes):
+        dataset = build_rca_dataset(world, episodes)
+        experiment = RcaExperiment(dataset, seed=0, num_folds=5, epochs=2,
+                                   gcn_hidden=8, gcn_out=4, mlp_hidden=4)
+        result = experiment.run(RandomProvider(dim=8, seed=0))
+        assert result.metrics.mean_rank >= 1.0
+        row = result.as_table_row()
+        assert set(row) == {"MR", "Hits@1", "Hits@3", "Hits@5"}
+        assert 0 <= row["Hits@1"] <= 100
+
+
+class TestEapData:
+    def test_balanced_pairs(self, world, episodes):
+        dataset = build_eap_dataset(world, episodes)
+        stats = dataset.describe()
+        assert stats["event_pairs_positive"] > 0
+        # One negative is attempted per positive; allow small shortfalls.
+        assert stats["event_pairs_negative"] >= \
+            stats["event_pairs_positive"] * 0.8
+
+    def test_positive_pairs_are_true_edges(self, world, episodes):
+        dataset = build_eap_dataset(world, episodes)
+        for pair in dataset.pairs:
+            if pair.label == 1:
+                assert world.causal_graph.has_edge(pair.event_i, pair.event_j)
+
+    def test_negative_pairs_are_not_edges_that_fired(self, world, episodes):
+        dataset = build_eap_dataset(world, episodes)
+        positives = {(p.event_i, p.event_j)
+                     for p in dataset.pairs if p.label == 1}
+        for pair in dataset.pairs:
+            if pair.label == 0:
+                assert (pair.event_i, pair.event_j) not in positives
+
+    def test_trigger_times_ordered_for_positives(self, world, episodes):
+        dataset = build_eap_dataset(world, episodes)
+        ordered = sum(1 for p in dataset.pairs
+                      if p.label == 1 and p.time_i <= p.time_j)
+        total = sum(1 for p in dataset.pairs if p.label == 1)
+        assert ordered / total > 0.95  # cause precedes effect
+
+
+class TestEapModel:
+    def test_forward_shape(self, world, episodes):
+        dataset = build_eap_dataset(world, episodes)
+        model = EapModel(dataset, text_dim=8, rng=np.random.default_rng(0))
+        pairs = dataset.pairs[:4]
+        t = np.random.default_rng(1).normal(size=(4, 8))
+        logits = model(pairs, t, t)
+        assert logits.shape == (4, 2)
+
+    def test_predict_binary(self, world, episodes):
+        dataset = build_eap_dataset(world, episodes)
+        model = EapModel(dataset, text_dim=8, rng=np.random.default_rng(0))
+        pairs = dataset.pairs[:4]
+        t = np.random.default_rng(1).normal(size=(4, 8))
+        preds = model.predict(pairs, t, t)
+        assert set(np.unique(preds)).issubset({0, 1})
+
+
+class TestEapExperiment:
+    def test_run_with_word_embeddings(self, world, episodes):
+        dataset = build_eap_dataset(world, episodes)
+        experiment = EapExperiment(dataset, seed=0, epochs=2)
+        result = experiment.run(WordEmbeddingProvider(dim=8, seed=0))
+        row = result.as_table_row()
+        assert set(row) == {"Accuracy", "Precision", "Recall", "F1-score"}
+        assert 0 <= row["Accuracy"] <= 100
+
+
+class TestFctData:
+    def test_dataset_built(self, world, episodes):
+        dataset = build_fct_dataset(world, episodes)
+        stats = dataset.describe()
+        assert stats["nodes"] > 2
+        assert stats["train"] + stats["valid"] + stats["test"] > 0
+        assert stats["test"] >= 1
+
+    def test_held_out_hops_not_in_training_graph(self, world, episodes):
+        dataset = build_fct_dataset(world, episodes)
+        training = {(q.head, q.relation, q.tail) for q in dataset.quadruples}
+        for triple in dataset.test + dataset.valid:
+            assert triple not in training
+
+    def test_confidences_in_unit_interval(self, world, episodes):
+        dataset = build_fct_dataset(world, episodes)
+        for quad in dataset.quadruples:
+            assert 0.0 < quad.confidence <= 1.0
+
+    def test_relations_are_ne_type_scoped(self, world, episodes):
+        dataset = build_fct_dataset(world, episodes)
+        ne_types = set(world.ontology.ne_types)
+        for name in dataset.relation_names:
+            assert name.startswith("into-")
+            assert name.removeprefix("into-") in ne_types
+
+    def test_mask_hop_first_mode(self, world, episodes):
+        dataset = build_fct_dataset(world, episodes, mask_hop="first")
+        assert dataset.describe()["test"] >= 1
+        with pytest.raises(ValueError):
+            build_fct_dataset(world, episodes, mask_hop="bogus")
+
+    def test_no_chains_raises(self, world):
+        with pytest.raises(ValueError):
+            build_fct_dataset(world, [])
+
+
+class TestFctExperiment:
+    def test_run_with_random_provider(self, world, episodes):
+        dataset = build_fct_dataset(world, episodes)
+        experiment = FctExperiment(dataset, seed=0, epochs=5)
+        result = experiment.run(RandomProvider(dim=16, seed=0))
+        row = result.as_table_row()
+        assert set(row) == {"MRR", "Hits@1", "Hits@3", "Hits@10"}
+        assert 0 <= row["MRR"] <= 100
+
+
+class TestRcaModelFactory:
+    def test_gat_factory_runs(self, world, episodes):
+        from repro.tasks.rca import GatRcaModel
+        dataset = build_rca_dataset(world, episodes)
+        experiment = RcaExperiment(
+            dataset, seed=0, epochs=1,
+            model_factory=lambda dim, rng: GatRcaModel(
+                dim, rng, hidden=8, out=4, mlp_hidden=4))
+        result = experiment.run(RandomProvider(dim=8, seed=0))
+        assert result.metrics.mean_rank >= 1.0

@@ -1,0 +1,171 @@
+"""Tests for KPI time series, the GAT ablation model, and triple classification."""
+
+import numpy as np
+import pytest
+
+from repro.kge import TransE, triple_classification
+from repro.tasks.rca import GatRcaModel, GraphAttentionLayer, build_rca_dataset
+from repro.tensor import Tensor
+from repro.world import (
+    KpiSeriesGenerator,
+    TelecomWorld,
+    detect_anomalies,
+    detection_f1,
+    rolling_zscore,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return TelecomWorld.generate(seed=29, alarms_per_theme=2,
+                                 kpis_per_theme=2, topology_nodes=8)
+
+
+class TestKpiSeries:
+    def _series(self, world, fault_windows=None):
+        generator = KpiSeriesGenerator(np.random.default_rng(0))
+        return generator.generate(world.ontology.kpis[0], start_time=0.0,
+                                  duration=2 * 86_400.0, interval=600.0,
+                                  fault_windows=fault_windows)
+
+    def test_normal_series_stays_in_band(self, world):
+        kpi = world.ontology.kpis[0]
+        series = self._series(world)
+        margin = (kpi.normal_high - kpi.normal_low) * 0.25
+        assert (series.values > kpi.normal_low - margin).all()
+        assert (series.values < kpi.normal_high + margin).all()
+        assert not series.anomaly_mask.any()
+
+    def test_daily_cycle_present(self, world):
+        """Autocorrelation at one day should exceed half-day correlation."""
+        series = self._series(world)
+        values = series.values - series.values.mean()
+        samples_per_day = int(86_400.0 / 600.0)
+        full_day = np.corrcoef(values[:-samples_per_day],
+                               values[samples_per_day:])[0, 1]
+        half_day = np.corrcoef(values[:-samples_per_day // 2],
+                               values[samples_per_day // 2:])[0, 1]
+        assert full_day > half_day
+
+    def test_fault_window_outside_band(self, world):
+        kpi = world.ontology.kpis[0]
+        series = self._series(world, fault_windows=[(40_000.0, 60_000.0)])
+        assert series.anomaly_mask.any()
+        inside = series.values[series.anomaly_mask]
+        if kpi.anomaly_direction == "up":
+            assert (inside > kpi.normal_high).all()
+        else:
+            assert (inside < kpi.normal_low).all()
+
+    def test_validation(self, world):
+        generator = KpiSeriesGenerator(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            generator.generate(world.ontology.kpis[0], 0.0, duration=-1.0)
+
+
+class TestAnomalyDetection:
+    def test_rolling_zscore_flags_spike(self):
+        values = np.ones(50)
+        values[40] = 100.0
+        scores = rolling_zscore(values + np.random.default_rng(0).normal(
+            0, 0.01, 50), window=10)
+        assert abs(scores[40]) > 4.0
+
+    def test_constant_history_scores_zero(self):
+        scores = rolling_zscore(np.ones(30), window=5)
+        assert np.allclose(scores, 0.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            rolling_zscore(np.ones(10), window=1)
+
+    def test_detector_catches_injected_fault(self, world):
+        generator = KpiSeriesGenerator(np.random.default_rng(1),
+                                       noise_scale=0.01)
+        series = generator.generate(world.ontology.kpis[0], 0.0,
+                                    duration=2 * 86_400.0, interval=600.0,
+                                    fault_windows=[(100_000.0, 110_000.0)])
+        predictions = detect_anomalies(series, window=12, threshold=4.0)
+        truth_start = np.nonzero(series.anomaly_mask)[0][0]
+        # The onset of the fault must be flagged.  (A short-window z-score
+        # detector flags the level shift, not the whole window, so overall
+        # F1 is modest by construction.)
+        assert predictions[truth_start:truth_start + 3].any()
+        assert detection_f1(series) > 0.0
+
+
+class TestGat:
+    def test_layer_shapes(self):
+        layer = GraphAttentionLayer(8, 4, np.random.default_rng(0))
+        hidden = Tensor(np.random.default_rng(1).normal(size=(5, 8)))
+        adjacency = np.eye(5)
+        out = layer(hidden, adjacency)
+        assert out.shape == (5, 4)
+
+    def test_attention_respects_graph(self):
+        """Disconnected nodes must not influence each other."""
+        layer = GraphAttentionLayer(4, 4, np.random.default_rng(0),
+                                    activation=False)
+        rng = np.random.default_rng(1)
+        hidden = rng.normal(size=(4, 4))
+        adjacency = np.zeros((4, 4))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        out1 = layer(Tensor(hidden), adjacency).data.copy()
+        hidden2 = hidden.copy()
+        hidden2[3] = rng.normal(size=4)  # perturb an unconnected node
+        out2 = layer(Tensor(hidden2), adjacency).data
+        assert np.allclose(out1[0], out2[0])
+        assert np.allclose(out1[1], out2[1])
+
+    def test_model_trains(self, world):
+        from repro.nn.optim import Adam
+        episodes = world.simulate_episodes(8)
+        dataset = build_rca_dataset(world, episodes)
+        model = GatRcaModel(8, np.random.default_rng(0), hidden=8, out=4,
+                            mlp_hidden=4)
+        embeddings = np.random.default_rng(1).normal(
+            size=(dataset.num_features, 8))
+        state = dataset.states[0]
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        first = float(model.loss(state, embeddings).data)
+        for _ in range(20):
+            optimizer.zero_grad()
+            loss = model.loss(state, embeddings)
+            loss.backward()
+            optimizer.step()
+        assert float(model.loss(state, embeddings).data) < first
+
+
+class TestTripleClassification:
+    def _model_and_data(self):
+        # Entities on a line; relation 0 translates by +1 step.
+        entities = np.array([[float(i), 0.0] for i in range(6)])
+        model = TransE(6, 1, 2, np.random.default_rng(0),
+                       entity_init=entities)
+        model.relation_embeddings.data[0] = [1.0, 0.0]
+        positives = np.array([(i, 0, i + 1) for i in range(5)])
+        negatives = np.array([(i, 0, (i + 3) % 6) for i in range(5)])
+        return model, positives, negatives
+
+    def test_perfect_separation(self):
+        model, positives, negatives = self._model_and_data()
+        result = triple_classification(model, positives, negatives,
+                                       positives, negatives)
+        assert result.accuracy == 1.0
+        assert 0 in result.thresholds
+
+    def test_unseen_relation_uses_global_threshold(self):
+        model, positives, negatives = self._model_and_data()
+        test_pos = positives.copy()
+        result = triple_classification(model, positives, negatives,
+                                       test_pos, negatives)
+        assert result.accuracy > 0.9
+
+    def test_validation(self):
+        model, positives, negatives = self._model_and_data()
+        with pytest.raises(ValueError):
+            triple_classification(model, positives[:0], negatives,
+                                  positives, negatives)
+        with pytest.raises(ValueError):
+            triple_classification(model, positives[:, :2], negatives,
+                                  positives, negatives)
