@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce report api clean
+.PHONY: install test bench reproduce report api serve-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -25,6 +25,17 @@ report:
 # Regenerate the checked-in API reference.
 api:
 	$(PYTHON) tools/gen_api_docs.py docs/api.md
+
+# Pipe a few JSON-lines requests through the serving loop and validate
+# every response (uses the stub encoder; no checkpoint needed).
+serve-smoke:
+	printf '%s\n' \
+	  '{"op": "ping"}' \
+	  '{"op": "embed", "names": ["link failure", "paging storm"]}' \
+	  '{"op": "embed", "names": ["link failure"]}' \
+	  '{"op": "stats"}' \
+	  | $(PYTHON) -m repro serve --stats --max-wait-ms 2 \
+	  | $(PYTHON) tools/check_serve_smoke.py
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks

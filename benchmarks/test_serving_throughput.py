@@ -1,0 +1,119 @@
+"""Serving-layer throughput: batching on/off, persistent cache cold/warm.
+
+Measures names/sec through four configurations of the serving stack over a
+synthetic encoder with realistic per-call overhead (a fixed setup cost per
+forward pass — the regime micro-batching exists for):
+
+* ``unbatched``        — one provider call per single-name request;
+* ``micro-batched``    — the same requests coalesced by ``MicroBatcher``;
+* ``persistent cold``  — first run against an empty on-disk store;
+* ``persistent warm``  — a fresh provider instance over the populated
+  store (zero forward passes expected).
+
+Writes ``benchmarks/results/serving_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+from conftest import save_and_print
+
+from repro.service import RandomProvider
+from repro.serving import EmbeddingStore, MicroBatcher, PersistentProvider
+
+NUM_NAMES = 96
+CALL_OVERHEAD_S = 0.002          # fixed per-forward-pass cost
+PER_NAME_S = 0.00005             # marginal per-name cost
+
+
+class OverheadProvider(RandomProvider):
+    """Encoder stand-in whose cost is dominated by per-call overhead."""
+
+    def __init__(self, dim=32, seed=0):
+        super().__init__(dim=dim, seed=seed)
+        self.calls = 0
+
+    def encode_names(self, names):
+        self.calls += 1
+        time.sleep(CALL_OVERHEAD_S + PER_NAME_S * len(names))
+        return super().encode_names(names)
+
+
+def _names() -> list[str]:
+    return [f"alarm {i} link failure" for i in range(NUM_NAMES)]
+
+
+def _run_unbatched() -> tuple[float, int]:
+    provider = OverheadProvider()
+    start = time.perf_counter()
+    for name in _names():
+        provider.encode_names([name])
+    return NUM_NAMES / (time.perf_counter() - start), provider.calls
+
+
+def _run_batched() -> tuple[float, int]:
+    provider = OverheadProvider()
+    results: list[np.ndarray] = []
+    lock = threading.Lock()
+    with MicroBatcher(provider, max_batch_size=32,
+                      max_wait_ms=10) as batcher:
+        start = time.perf_counter()
+
+        def worker(chunk: list[str]) -> None:
+            for name in chunk:
+                vector = batcher.encode([name])
+                with lock:
+                    results.append(vector)
+
+        chunks = [_names()[i::8] for i in range(8)]
+        threads = [threading.Thread(target=worker, args=(c,))
+                   for c in chunks]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+    assert len(results) == NUM_NAMES
+    return NUM_NAMES / elapsed, provider.calls
+
+
+def _run_persistent(store_dir, fingerprint="bench") -> tuple[float, int]:
+    provider = OverheadProvider()
+    stacked = PersistentProvider(
+        provider, EmbeddingStore(store_dir, fingerprint=fingerprint))
+    start = time.perf_counter()
+    stacked.encode_names(_names())
+    return NUM_NAMES / (time.perf_counter() - start), provider.calls
+
+
+def test_serving_throughput(results_dir, benchmark, tmp_path):
+    def measure():
+        unbatched, unbatched_calls = _run_unbatched()
+        batched, batched_calls = _run_batched()
+        cold, cold_calls = _run_persistent(tmp_path / "store")
+        warm, warm_calls = _run_persistent(tmp_path / "store")
+        return {
+            "unbatched": (unbatched, unbatched_calls),
+            "micro-batched": (batched, batched_calls),
+            "persistent cold": (cold, cold_calls),
+            "persistent warm": (warm, warm_calls),
+        }
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [f"Serving throughput — {NUM_NAMES} names, "
+             f"{CALL_OVERHEAD_S * 1000:.1f}ms call overhead",
+             f"{'configuration':<18} {'names/sec':>12} {'fwd passes':>12}"]
+    for label, (rate, calls) in rows.items():
+        lines.append(f"{label:<18} {rate:>12.1f} {calls:>12d}")
+    save_and_print(results_dir, "serving_throughput.txt", "\n".join(lines))
+
+    # Batching amortises the per-call overhead across concurrent requests.
+    assert rows["micro-batched"][1] < rows["unbatched"][1]
+    assert rows["micro-batched"][0] > rows["unbatched"][0]
+    # A warm persistent store performs zero forward passes.
+    assert rows["persistent warm"][1] == 0
+    assert rows["persistent cold"][1] >= 1

@@ -23,7 +23,8 @@ Subpackages: ``tensor`` (autograd), ``nn`` (layers/optim/losses),
 ``tokenization``, ``world`` (synthetic telecom universe), ``corpus``, ``kg``
 (Tele-KG), ``prompts``, ``numeric`` (ANEnc), ``models`` (TeleBERT /
 KTeleBERT), ``training``, ``kge``, ``service``, ``tasks`` (rca/eap/fct),
-``evaluation``, ``experiments`` (table/figure harnesses).
+``evaluation``, ``experiments`` (table/figure harnesses), ``serving``
+(online inference: micro-batching, persistent embedding store, metrics).
 """
 
 __version__ = "1.0.0"
@@ -43,16 +44,19 @@ from repro.service import (
     RandomProvider,
     WordEmbeddingProvider,
 )
+from repro.serving import FaultAnalysisService, ServiceConfig
 from repro.experiments import ExperimentPipeline, PipelineConfig
 
 __all__ = [
     "ExperimentPipeline",
+    "FaultAnalysisService",
     "KTeleBert",
     "KTeleBertConfig",
     "KTeleBertProvider",
     "PipelineConfig",
     "PlmProvider",
     "RandomProvider",
+    "ServiceConfig",
     "TeleBertTrainer",
     "TeleKG",
     "TelecomWorld",

@@ -8,6 +8,9 @@ Commands
                checkpoint directory.
 ``encode``     load a checkpoint and print service embeddings for texts.
 ``simulate``   generate a synthetic world + fault episodes and print stats.
+``serve``      long-lived JSON-lines inference loop over stdin with dynamic
+               micro-batching, a persistent embedding store, and a
+               ``--stats`` metrics dump (see :mod:`repro.serving`).
 """
 
 from __future__ import annotations
@@ -127,6 +130,55 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import (
+        FaultAnalysisService,
+        MetricsRegistry,
+        ServiceConfig,
+        serve_loop,
+    )
+    from repro.service import RandomProvider, WordEmbeddingProvider
+
+    if args.checkpoint:
+        from repro.models import checkpoint_fingerprint, load_ktelebert
+        from repro.service import KTeleBertProvider
+
+        model = load_ktelebert(args.checkpoint)
+        provider = KTeleBertProvider(model, mode="name")
+        fingerprint = checkpoint_fingerprint(args.checkpoint)
+    else:
+        # Stub encoder: deterministic random vectors.  Keeps the request
+        # loop, batching, store, and metrics exercisable (smoke tests, CI)
+        # without a pretrained checkpoint.
+        provider = RandomProvider(dim=args.dim, seed=0)
+        fingerprint = f"random-dim{args.dim}"
+
+    fallback = None
+    if args.fallback:
+        fallback = WordEmbeddingProvider(dim=provider.dim, seed=0)
+    config = ServiceConfig(max_batch_size=args.max_batch_size,
+                           max_wait_ms=args.max_wait_ms,
+                           timeout_s=args.timeout,
+                           max_retries=args.retries)
+    metrics = MetricsRegistry()
+    with FaultAnalysisService(provider, fallback=fallback, config=config,
+                              metrics=metrics, store_dir=args.store,
+                              fingerprint=fingerprint) as service:
+        serve_loop(service, sys.stdin, sys.stdout)
+        if args.stats:
+            stats = service.stats()
+            latency = stats["latency"]
+            print(metrics.render(), file=sys.stderr)
+            print(f"requests: {stats['requests']}", file=sys.stderr)
+            print(f"cache hit rate: {stats['cache']['hit_rate']:.3f} "
+                  f"(hits={stats['cache']['hits']} "
+                  f"misses={stats['cache']['misses']})", file=sys.stderr)
+            print(f"latency p50: {latency['p50'] * 1000:.3f}ms  "
+                  f"p95: {latency['p95'] * 1000:.3f}ms  "
+                  f"p99: {latency['p99'] * 1000:.3f}ms", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -167,6 +219,27 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--episodes", type=int, default=50)
     simulate.set_defaults(func=_cmd_simulate)
+
+    serve = sub.add_parser("serve",
+                           help="JSON-lines inference loop over stdin")
+    serve.add_argument("--checkpoint", default=None,
+                       help="KTeleBERT checkpoint directory; omit for the "
+                            "deterministic stub encoder")
+    serve.add_argument("--dim", type=int, default=32,
+                       help="embedding dim of the stub encoder")
+    serve.add_argument("--store", default=None,
+                       help="directory for the persistent embedding store")
+    serve.add_argument("--max-batch-size", type=int, default=32)
+    serve.add_argument("--max-wait-ms", type=float, default=5.0)
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="per-call timeout in seconds")
+    serve.add_argument("--retries", type=int, default=2)
+    serve.add_argument("--fallback", action="store_true",
+                       help="degrade to a word-embedding provider when the "
+                            "primary is exhausted")
+    serve.add_argument("--stats", action="store_true",
+                       help="dump the metrics registry to stderr at EOF")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

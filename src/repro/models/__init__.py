@@ -17,7 +17,12 @@ from repro.models.bert import BertConfig, BertEncoder, BertForMaskedLM, MlmHead
 from repro.models.electra import ElectraPretrainer, ElectraStepOutput
 from repro.models.ke import KnowledgeEmbeddingObjective
 from repro.models.telebert import TeleBertTrainer, pretrain_telebert
-from repro.models.checkpoint import load_ktelebert, save_ktelebert
+from repro.models.checkpoint import (
+    checkpoint_fingerprint,
+    load_ktelebert,
+    model_fingerprint,
+    save_ktelebert,
+)
 from repro.models.ktelebert import (
     KTeleBert,
     KTeleBertConfig,
@@ -40,7 +45,9 @@ __all__ = [
     "TeleBertTrainer",
     "TextRow",
     "TripleRow",
+    "checkpoint_fingerprint",
     "load_ktelebert",
+    "model_fingerprint",
     "pretrain_telebert",
     "save_ktelebert",
 ]

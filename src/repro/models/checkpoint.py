@@ -16,6 +16,7 @@ team ships the directory; task teams load it read-only and call ``encode``.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 
@@ -72,6 +73,51 @@ def save_ktelebert(model: KTeleBert, path: str | Path) -> Path:
             flat[f"{component}/{name}"] = values
     np.savez(path / "weights.npz", **flat)
     return path
+
+
+_CHECKPOINT_FILES = ("meta.json", "vocab.json", "weights.npz")
+
+
+def checkpoint_fingerprint(path: str | Path) -> str:
+    """Content hash of a checkpoint directory (16 hex chars).
+
+    Streams ``meta.json``, ``vocab.json``, and ``weights.npz`` through
+    SHA-256 so any change to geometry, vocabulary, or weights yields a new
+    fingerprint.  The serving layer keys its persistent embedding store on
+    this value: re-training invalidates stale vectors without any explicit
+    cache-busting step.
+    """
+    path = Path(path)
+    digest = hashlib.sha256()
+    for name in _CHECKPOINT_FILES:
+        file_path = path / name
+        if not file_path.exists():
+            raise FileNotFoundError(f"checkpoint is missing {name}: {path}")
+        digest.update(name.encode())
+        with open(file_path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+    return digest.hexdigest()[:16]
+
+
+def model_fingerprint(model: KTeleBert) -> str:
+    """Content hash of an in-memory KTeleBERT (16 hex chars).
+
+    Same role as :func:`checkpoint_fingerprint` for models that were never
+    saved: hashes every parameter array plus the model geometry, so the
+    embedding store distinguishes differently-trained instances of the
+    same architecture.
+    """
+    digest = hashlib.sha256()
+    digest.update(json.dumps(dataclasses.asdict(model.bert_config),
+                             sort_keys=True).encode())
+    digest.update(json.dumps(dataclasses.asdict(model.config),
+                             sort_keys=True).encode())
+    for component, state in sorted(_component_states(model).items()):
+        for name, values in sorted(state.items()):
+            digest.update(f"{component}/{name}".encode())
+            digest.update(np.ascontiguousarray(values).tobytes())
+    return digest.hexdigest()[:16]
 
 
 def load_ktelebert(path: str | Path, seed: int = 0) -> KTeleBert:

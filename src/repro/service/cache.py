@@ -3,9 +3,15 @@
 Task harnesses query the same target names many times (folds, repeated
 experiments, ablations); :class:`CachedProvider` memoises per-name vectors so
 the underlying PLM encodes each distinct name exactly once.
+
+The cache is thread-safe: it can sit under the serving micro-batcher
+(:class:`repro.serving.MicroBatcher`), whose caller threads and flush
+worker touch it concurrently.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -20,27 +26,49 @@ class CachedProvider(EmbeddingProvider):
         self.label = inner.label
         self.dim = inner.dim
         self._cache: dict[str, np.ndarray] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def encode_names(self, names: list[str]) -> np.ndarray:
-        missing = [n for n in names if n not in self._cache]
-        # Deduplicate while preserving order for the inner call.
-        unique_missing = list(dict.fromkeys(missing))
-        if unique_missing:
-            vectors = self.inner.encode_names(unique_missing)
-            for name, vector in zip(unique_missing, vectors):
-                self._cache[name] = vector
-        self.misses += len(unique_missing)
-        self.hits += len(names) - len(unique_missing)
-        return np.stack([self._cache[n] for n in names])
+        # The lock spans the inner encode as well: two threads missing on
+        # the same name must not both pay for (and race to write) it.
+        with self._lock:
+            missing = [n for n in names if n not in self._cache]
+            # Deduplicate while preserving order for the inner call.
+            unique_missing = list(dict.fromkeys(missing))
+            if unique_missing:
+                vectors = self.inner.encode_names(unique_missing)
+                for name, vector in zip(unique_missing, vectors):
+                    self._cache[name] = vector
+            self.misses += len(unique_missing)
+            self.hits += len(names) - len(unique_missing)
+            return np.stack([self._cache[n] for n in names])
 
     def clear(self) -> None:
-        """Drop the cache (e.g. after further training of the inner model)."""
-        self._cache.clear()
-        self.hits = 0
-        self.misses = 0
+        """Drop the cache (e.g. after further training of the inner model).
+
+        Also resets the hit/miss counters — hit-rate statistics computed
+        after a ``clear()`` describe the new cache generation only.
+        """
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        """Hit/miss counters in the shape the metrics registry aggregates."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "size": len(self._cache),
+            }
 
     @property
     def cache_size(self) -> int:
-        return len(self._cache)
+        """Number of distinct names currently memoised."""
+        with self._lock:
+            return len(self._cache)

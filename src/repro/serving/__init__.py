@@ -1,0 +1,52 @@
+"""Online fault-analysis serving layer.
+
+Turns the frozen encoders of :mod:`repro.service` into a long-lived
+inference service, the deployment shape the paper's "service embeddings"
+imply (Sec. V-A3) and that industrial tele-PLM systems build around:
+
+* :class:`MicroBatcher` — dynamic micro-batching with cross-request
+  deduplication (flush on size or deadline);
+* :class:`EmbeddingStore` / :class:`PersistentProvider` — append-only
+  on-disk embedding cache keyed by checkpoint fingerprint, with an LRU
+  memory tier and versioned invalidation;
+* :class:`FaultAnalysisService` — one façade exposing ``embed`` plus the
+  three fault-analysis calls (``rank_root_causes`` / ``propagate_alarms``
+  / ``classify_fault``) with per-call timeout, bounded retry with backoff,
+  and graceful degradation to a fallback provider;
+* :class:`MetricsRegistry` — counters, gauges, latency histograms with
+  p50/p95/p99, and structured event logging;
+* :func:`serve_loop` — the stdin/stdout JSON-lines transport behind
+  ``python -m repro serve``.
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_hit_stats,
+)
+from repro.serving.server import handle_request, serve_loop
+from repro.serving.service import (
+    FaultAnalysisService,
+    ServiceConfig,
+    ServingError,
+)
+from repro.serving.store import EmbeddingStore, PersistentProvider
+
+__all__ = [
+    "Counter",
+    "EmbeddingStore",
+    "FaultAnalysisService",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "PersistentProvider",
+    "ServiceConfig",
+    "ServingError",
+    "handle_request",
+    "merge_hit_stats",
+    "serve_loop",
+]

@@ -1,0 +1,194 @@
+"""Dynamic micro-batcher: coalesce concurrent encode requests into batches.
+
+Online traffic arrives as many small requests (often a single name each),
+but the encoder's cost is dominated by per-call overhead — the transformer
+forward amortises well over a batch.  :class:`MicroBatcher` sits between
+caller threads and one :class:`~repro.service.providers.EmbeddingProvider`:
+callers block in :meth:`encode` while their names join a shared pending
+set; a background worker flushes the set to the provider whenever it
+reaches ``max_batch_size`` *or* the oldest pending name has waited
+``max_wait_ms`` — the classic size-or-deadline policy of production
+inference servers.
+
+Names are deduplicated **across requests**: if four threads concurrently
+ask for ``"link failure"``, the provider sees it once and all four callers
+share the resulting vector.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.serving.metrics import MetricsRegistry
+from repro.service.providers import EmbeddingProvider
+
+
+class _Pending:
+    """One in-flight unique name, shared by every request that wants it."""
+
+    __slots__ = ("done", "vector", "error", "enqueued_at")
+
+    def __init__(self, enqueued_at: float):
+        self.done = threading.Event()
+        self.vector: np.ndarray | None = None
+        self.error: BaseException | None = None
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatcher:
+    """Size-or-deadline request coalescer over an embedding provider.
+
+    Thread-safe; usable as a context manager (``with MicroBatcher(...)``)
+    so the worker thread is always joined.  The batcher itself implements
+    the provider interface, so it can wrap — and be wrapped by — the cache
+    decorators.
+    """
+
+    def __init__(self, provider: EmbeddingProvider, max_batch_size: int = 32,
+                 max_wait_ms: float = 5.0,
+                 metrics: MetricsRegistry | None = None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.provider = provider
+        self.label = provider.label
+        self.dim = provider.dim
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.metrics = metrics or MetricsRegistry()
+        self._cond = threading.Condition()
+        self._pending: dict[str, _Pending] = {}
+        self._closed = False
+        self.batches_flushed = 0
+        self.names_encoded = 0
+        self._worker = threading.Thread(target=self._run,
+                                        name="repro-microbatcher",
+                                        daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Caller side
+    # ------------------------------------------------------------------
+    def encode(self, names: list[str]) -> np.ndarray:
+        """Blocking encode through the shared batch queue.
+
+        Returns a ``(len(names), dim)`` matrix aligned with ``names``.
+        Raises whatever the provider raised if the flush that carried one
+        of these names failed.
+        """
+        if not names:
+            return np.zeros((0, self.dim))
+        now = time.monotonic()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            entries = {}
+            for name in names:
+                entry = self._pending.get(name)
+                if entry is None or entry.done.is_set():
+                    entry = _Pending(now)
+                    self._pending[name] = entry
+                entries[name] = entry
+            self.metrics.counter("serving.batcher.requests").inc()
+            self.metrics.gauge("serving.batcher.queue_depth").set(
+                len(self._pending))
+            self._cond.notify_all()
+        for entry in entries.values():
+            entry.done.wait()
+        rows = []
+        for name in names:
+            entry = entries[name]
+            if entry.error is not None:
+                raise entry.error
+            rows.append(entry.vector)
+        return np.stack(rows)
+
+    # Provider-interface alias so the batcher composes with decorators.
+    encode_names = encode
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> dict[str, _Pending] | None:
+        """Block until a flush is due; returns the batch (None = closed)."""
+        with self._cond:
+            while True:
+                if self._pending:
+                    oldest = min(e.enqueued_at
+                                 for e in self._pending.values())
+                    deadline = oldest + self.max_wait_ms / 1000.0
+                    now = time.monotonic()
+                    if (len(self._pending) >= self.max_batch_size
+                            or now >= deadline or self._closed):
+                        batch = {}
+                        for name in list(self._pending)[:self.max_batch_size]:
+                            batch[name] = self._pending.pop(name)
+                        self.metrics.gauge(
+                            "serving.batcher.queue_depth").set(
+                            len(self._pending))
+                        return batch
+                    self._cond.wait(timeout=deadline - now)
+                elif self._closed:
+                    return None
+                else:
+                    self._cond.wait()
+
+    def _run(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            names = list(batch)
+            try:
+                with self.metrics.time("serving.batcher.flush_latency"):
+                    vectors = self.provider.encode_names(names)
+            except BaseException as error:  # propagate to every waiter
+                for entry in batch.values():
+                    entry.error = error
+                    entry.done.set()
+                self.metrics.counter("serving.batcher.errors").inc()
+                self.metrics.emit("batch_error", names=len(names),
+                                  error=repr(error))
+                continue
+            for name, vector in zip(names, vectors):
+                batch[name].vector = vector
+                batch[name].done.set()
+            self.batches_flushed += 1
+            self.names_encoded += len(names)
+            self.metrics.counter("serving.batcher.batches").inc()
+            self.metrics.counter("serving.batcher.names").inc(len(names))
+            self.metrics.histogram("serving.batcher.batch_size").observe(
+                len(names))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush remaining names and stop the worker (idempotent)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Flush counters for the metrics dump."""
+        with self._cond:
+            return {
+                "batches_flushed": self.batches_flushed,
+                "names_encoded": self.names_encoded,
+                "mean_batch_size": (self.names_encoded / self.batches_flushed
+                                    if self.batches_flushed else 0.0),
+                "pending": len(self._pending),
+            }

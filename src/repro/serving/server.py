@@ -1,0 +1,77 @@
+"""JSON-lines request loop for ``python -m repro serve``.
+
+One request per input line, one JSON response per output line — the
+simplest transport that exercises the full serving stack (batching,
+persistent store, metrics) and is scriptable from a shell pipe or a
+supervisor.  Protocol::
+
+    {"op": "ping"}
+    {"op": "embed", "names": ["link failure", ...]}
+    {"op": "classify_fault", "alarm": "...", "top_k": 3}
+    {"op": "stats"}
+
+Responses always carry ``"ok"``; failures answer ``{"ok": false,
+"error": ...}`` on that line and the loop keeps serving — a malformed
+request must never take the service down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.serving.service import FaultAnalysisService
+
+
+def handle_request(service: FaultAnalysisService, request: dict) -> dict:
+    """Dispatch one request dict to the service; returns the response."""
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "op": "ping"}
+    if op == "embed":
+        names = request.get("names")
+        if not isinstance(names, list) or not names or \
+                not all(isinstance(n, str) for n in names):
+            raise ValueError("embed needs a non-empty 'names' string list")
+        vectors = service.embed(names)
+        return {"ok": True, "op": "embed",
+                "embeddings": [[round(float(x), 6) for x in row]
+                               for row in vectors]}
+    if op == "classify_fault":
+        alarm = request.get("alarm")
+        if not isinstance(alarm, str):
+            raise ValueError("classify_fault needs an 'alarm' string")
+        chain = service.classify_fault(alarm,
+                                       top_k=int(request.get("top_k", 5)))
+        return {"ok": True, "op": "classify_fault", "next_hops": chain}
+    if op == "stats":
+        stats = service.stats()
+        return {"ok": True, "op": "stats",
+                "requests": stats["requests"],
+                "cache": stats["cache"],
+                "latency": stats["latency"],
+                "batcher": stats["batcher"]}
+    raise ValueError(f"unknown op: {op!r}")
+
+
+def serve_loop(service: FaultAnalysisService, input_stream: IO[str],
+               output_stream: IO[str]) -> int:
+    """Run requests from ``input_stream`` until EOF; returns served count."""
+    served = 0
+    for line in input_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            response = handle_request(service, request)
+        except Exception as error:  # noqa: BLE001 — reported, loop survives
+            service.metrics.counter("serving.bad_requests").inc()
+            service.metrics.emit("bad_request", error=repr(error))
+            response = {"ok": False, "error": repr(error)}
+        served += 1
+        output_stream.write(json.dumps(response, ensure_ascii=False) + "\n")
+        output_stream.flush()
+    return served

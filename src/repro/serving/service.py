@@ -1,0 +1,244 @@
+"""`FaultAnalysisService`: one façade over embedding + RCA / EAP / FCT.
+
+Composes the serving stack the rest of :mod:`repro.serving` provides::
+
+    caller ──▶ FaultAnalysisService.embed
+                  │  timeout / bounded retry with backoff / fallback
+                  ▼
+               MicroBatcher  (coalesce + cross-request dedup)
+                  ▼
+               PersistentProvider ──▶ EmbeddingStore (LRU + disk log)
+                  ▼
+               primary EmbeddingProvider (the frozen encoder)
+
+Task calls (:meth:`rank_root_causes`, :meth:`propagate_alarms`,
+:meth:`classify_fault`) route through lazily-fitted adapters from
+``repro.tasks.*.serve``; the embeddings they consume travel the same
+pipeline, so they hit the same caches and metrics.
+
+Degradation policy: a primary call that exceeds ``timeout_s`` (or raises)
+is retried up to ``max_retries`` times with exponential backoff; once
+retries are exhausted the service answers from the ``fallback`` provider
+when one is configured (counted in ``serving.fallbacks``), else raises
+:class:`ServingError`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.metrics import MetricsRegistry, merge_hit_stats
+from repro.serving.store import EmbeddingStore, PersistentProvider
+from repro.service.cache import CachedProvider
+from repro.service.providers import EmbeddingProvider
+
+
+class ServingError(RuntimeError):
+    """Primary provider failed and no fallback could answer."""
+
+
+@dataclass
+class ServiceConfig:
+    """Operational knobs for :class:`FaultAnalysisService`."""
+
+    #: flush a batch at this many pending unique names
+    max_batch_size: int = 32
+    #: ... or when the oldest pending name has waited this long
+    max_wait_ms: float = 5.0
+    #: per-call wall-clock budget for one primary attempt (seconds)
+    timeout_s: float = 30.0
+    #: additional attempts after the first failed/timed-out one
+    max_retries: int = 2
+    #: first retry sleeps this long; doubles per attempt
+    backoff_s: float = 0.05
+    #: capacity of the store's in-memory LRU tier
+    lru_capacity: int = 4096
+
+    def __post_init__(self):
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+
+class FaultAnalysisService:
+    """Batched, cached, observable front-end over a frozen encoder.
+
+    Parameters
+    ----------
+    provider:
+        The primary encoder (any :class:`EmbeddingProvider`).
+    fallback:
+        Optional cheaper provider answering when the primary is exhausted
+        (timeouts/errors after retries) — e.g. a
+        :class:`~repro.service.WordEmbeddingProvider` of the same ``dim``.
+    store_dir:
+        Directory for the persistent embedding store; ``None`` serves
+        purely from memory.
+    fingerprint:
+        Version key for the store — pass
+        :func:`repro.models.checkpoint.checkpoint_fingerprint` (or
+        ``model_fingerprint``) output so re-training invalidates old
+        vectors.
+    mode:
+        Data-mode component of the store key (matches the provider's
+        ``mode`` when it has one).
+    rca / eap / fct:
+        Optional task adapters (``repro.tasks.*.serve``); fitted lazily on
+        first use with embeddings drawn through this service.
+    """
+
+    def __init__(self, provider: EmbeddingProvider, *,
+                 fallback: EmbeddingProvider | None = None,
+                 config: ServiceConfig | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 store_dir=None, fingerprint: str = "unversioned",
+                 mode: str | None = None,
+                 rca=None, eap=None, fct=None):
+        self.config = config or ServiceConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.fallback = fallback
+        self.rca = rca
+        self.eap = eap
+        self.fct = fct
+        if fallback is not None and fallback.dim != provider.dim:
+            raise ValueError("fallback dim must match the primary provider")
+
+        self.store: EmbeddingStore | None = None
+        stack: EmbeddingProvider = provider
+        if store_dir is not None:
+            self.store = EmbeddingStore(
+                store_dir, fingerprint=fingerprint, label=provider.label,
+                mode=mode or getattr(provider, "mode", "name"),
+                lru_capacity=self.config.lru_capacity)
+            stack = PersistentProvider(stack, self.store)
+        else:
+            stack = CachedProvider(stack)
+        self._cache = stack
+        self.batcher = MicroBatcher(stack,
+                                    max_batch_size=self.config.max_batch_size,
+                                    max_wait_ms=self.config.max_wait_ms,
+                                    metrics=self.metrics)
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=8, thread_name_prefix="repro-serving")
+        self._fit_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Resilience plumbing
+    # ------------------------------------------------------------------
+    def _call_with_policy(self, op: str, primary, fallback=None):
+        """Timeout + bounded retry with backoff + graceful degradation."""
+        self.metrics.counter("serving.requests").inc()
+        self.metrics.counter(f"serving.requests.{op}").inc()
+        attempts = self.config.max_retries + 1
+        last_error: BaseException | None = None
+        with self.metrics.time("serving.latency"):
+            for attempt in range(attempts):
+                future = self._pool.submit(primary)
+                try:
+                    with self.metrics.time(f"serving.latency.{op}"):
+                        return future.result(timeout=self.config.timeout_s)
+                except concurrent.futures.TimeoutError as error:
+                    future.cancel()
+                    last_error = error
+                    self.metrics.counter("serving.timeouts").inc()
+                    self.metrics.emit("timeout", op=op, attempt=attempt)
+                except Exception as error:  # noqa: BLE001 — retried below
+                    last_error = error
+                    self.metrics.counter("serving.errors").inc()
+                    self.metrics.emit("error", op=op, attempt=attempt,
+                                      error=repr(error))
+                if attempt < attempts - 1:
+                    self.metrics.counter("serving.retries").inc()
+                    time.sleep(self.config.backoff_s * (2 ** attempt))
+            if fallback is not None:
+                self.metrics.counter("serving.fallbacks").inc()
+                self.metrics.emit("fallback", op=op)
+                return fallback()
+            raise ServingError(
+                f"{op} failed after {attempts} attempt(s)") from last_error
+
+    # ------------------------------------------------------------------
+    # Embedding
+    # ------------------------------------------------------------------
+    def embed(self, names: list[str]) -> np.ndarray:
+        """Service embeddings for ``names`` through the full stack."""
+        fallback = None
+        if self.fallback is not None:
+            fallback = lambda: self.fallback.encode_names(names)  # noqa: E731
+        return self._call_with_policy(
+            "embed", lambda: self.batcher.encode(names), fallback)
+
+    # ------------------------------------------------------------------
+    # Fault-analysis calls
+    # ------------------------------------------------------------------
+    def _fitted(self, adapter, op: str):
+        """Fit ``adapter`` on first use (embeddings via this service)."""
+        if adapter is None:
+            raise ValueError(f"no {op} adapter configured on this service")
+        with self._fit_lock:
+            if not adapter.fitted:
+                with self.metrics.time(f"serving.fit.{op}"):
+                    adapter.fit(self.embed(adapter.event_names))
+                self.metrics.emit("adapter_fitted", op=op)
+        return adapter
+
+    def rank_root_causes(self, state, top_k: int | None = None
+                         ) -> list[tuple[str, float]]:
+        """RCA: nodes of ``state`` ranked most-likely-root first."""
+        adapter = self._fitted(self.rca, "rca")
+        ranking = self._call_with_policy(
+            "rank_root_causes", lambda: adapter.rank(state))
+        return ranking[:top_k] if top_k is not None else ranking
+
+    def propagate_alarms(self, pairs) -> list[dict]:
+        """EAP: trigger verdict + confidence for each candidate pair."""
+        adapter = self._fitted(self.eap, "eap")
+        return self._call_with_policy(
+            "propagate_alarms", lambda: adapter.predict(pairs))
+
+    def classify_fault(self, alarm_name: str, top_k: int = 5) -> list[dict]:
+        """FCT: most plausible next-hop alarms for ``alarm_name``."""
+        adapter = self._fitted(self.fct, "fct")
+        return self._call_with_policy(
+            "classify_fault", lambda: adapter.trace(alarm_name, top_k=top_k))
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Request counts, cache hit rate, latency percentiles, tiers."""
+        snapshot = self.metrics.snapshot()
+        tiers = [self._cache.stats()] if hasattr(self._cache, "stats") else []
+        latency = snapshot["histograms"].get(
+            "serving.latency", {"count": 0, "mean": 0.0,
+                                "p50": 0.0, "p95": 0.0, "p99": 0.0})
+        return {
+            "requests": snapshot["counters"].get("serving.requests", 0),
+            "cache": merge_hit_stats(tiers),
+            "latency": latency,
+            "batcher": self.batcher.stats(),
+            "store": self.store.stats() if self.store else None,
+            "metrics": snapshot,
+        }
+
+    def close(self) -> None:
+        """Stop the batcher worker and the retry pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.batcher.close()
+        self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "FaultAnalysisService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

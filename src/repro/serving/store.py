@@ -1,0 +1,241 @@
+"""Persistent embedding store: append-only disk log + in-memory LRU tier.
+
+Every embedding consumer in the repo re-encodes the same target names on
+every process start (the per-process :class:`~repro.service.CachedProvider`
+memo dies with the interpreter).  :class:`EmbeddingStore` makes the cache
+survive: vectors live in an append-only JSON-lines log on disk, keyed by
+``(fingerprint, provider label, mode, name)``, with a bounded LRU dict in
+front so hot names never touch the disk twice.
+
+*Versioned invalidation* falls out of the key: the fingerprint component
+comes from :func:`repro.models.checkpoint.checkpoint_fingerprint` (or
+:func:`~repro.models.checkpoint.model_fingerprint`), so re-training the
+encoder changes the namespace and stale vectors are simply never matched
+again.  ``compact()`` rewrites the log keeping only the live namespace.
+
+The append-only format is crash-tolerant by construction: a torn final
+line (killed process) is detected and skipped on the next open.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from repro.service.providers import EmbeddingProvider
+
+_LOG_NAME = "embeddings.jsonl"
+
+
+class EmbeddingStore:
+    """Two-tier (LRU memory / append-only disk) per-name embedding cache.
+
+    One store instance binds one namespace — ``(fingerprint, label,
+    mode)`` — and maps names to vectors within it.  Entries written under
+    other namespaces coexist in the same log file but are invisible, which
+    is what makes checkpoint-fingerprint invalidation free.
+    """
+
+    def __init__(self, directory: str | Path, fingerprint: str = "unversioned",
+                 label: str = "provider", mode: str = "name",
+                 lru_capacity: int = 4096):
+        if lru_capacity < 1:
+            raise ValueError("lru_capacity must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = fingerprint
+        self.label = label
+        self.mode = mode
+        self.lru_capacity = lru_capacity
+        self.path = self.directory / _LOG_NAME
+        self._lock = threading.RLock()
+        self._lru: OrderedDict[str, np.ndarray] = OrderedDict()
+        # name -> byte offset of its newest record in the log (this
+        # namespace only); vectors are re-read lazily on LRU miss.
+        self._offsets: dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self._scan()
+
+    # ------------------------------------------------------------------
+    # Disk log
+    # ------------------------------------------------------------------
+    def _matches(self, record: dict) -> bool:
+        return (record.get("v") == self.fingerprint
+                and record.get("p") == self.label
+                and record.get("m") == self.mode)
+
+    def _scan(self) -> None:
+        """Index the log: newest offset per name in this namespace."""
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as handle:
+            offset = 0
+            for raw in handle:
+                line = raw.decode("utf-8", errors="replace").strip()
+                start, offset = offset, offset + len(raw)
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn trailing write from a killed process
+                if self._matches(record):
+                    self._offsets[record["n"]] = start
+
+    def _read_at(self, offset: int) -> np.ndarray:
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            record = json.loads(handle.readline().decode("utf-8"))
+        return np.asarray(record["e"], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # LRU tier
+    # ------------------------------------------------------------------
+    def _lru_get(self, name: str) -> np.ndarray | None:
+        vector = self._lru.get(name)
+        if vector is not None:
+            self._lru.move_to_end(name)
+        return vector
+
+    def _lru_put(self, name: str, vector: np.ndarray) -> None:
+        self._lru[name] = vector
+        self._lru.move_to_end(name)
+        while len(self._lru) > self.lru_capacity:
+            self._lru.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> np.ndarray | None:
+        """The stored vector for ``name``, or ``None`` on a full miss."""
+        with self._lock:
+            vector = self._lru_get(name)
+            if vector is None and name in self._offsets:
+                vector = self._read_at(self._offsets[name])
+                self._lru_put(name, vector)
+            if vector is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return vector
+
+    def get_many(self, names: list[str]) -> dict[str, np.ndarray]:
+        """Vectors for every known name (missing names are absent)."""
+        found: dict[str, np.ndarray] = {}
+        for name in names:
+            vector = self.get(name)
+            if vector is not None:
+                found[name] = vector
+        return found
+
+    def _ensure_newline_terminated(self) -> None:
+        """Repair a torn trailing write so appends start on a fresh line."""
+        if not self.path.exists() or not self.path.stat().st_size:
+            return
+        with open(self.path, "rb") as handle:
+            handle.seek(-1, 2)
+            torn = handle.read(1) != b"\n"
+        if torn:
+            with open(self.path, "ab") as handle:
+                handle.write(b"\n")
+
+    def put_many(self, vectors: dict[str, np.ndarray]) -> None:
+        """Append vectors to the log and refresh both tiers."""
+        if not vectors:
+            return
+        with self._lock:
+            self._ensure_newline_terminated()
+            with open(self.path, "ab") as handle:
+                for name, vector in vectors.items():
+                    record = {"v": self.fingerprint, "p": self.label,
+                              "m": self.mode, "n": name,
+                              "e": [float(x) for x in np.asarray(vector)]}
+                    start = handle.tell()
+                    handle.write(json.dumps(record,
+                                            ensure_ascii=False).encode())
+                    handle.write(b"\n")
+                    self._offsets[name] = start
+                    self._lru_put(name, np.asarray(vector, dtype=np.float64))
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._lru or name in self._offsets
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(set(self._offsets) | set(self._lru))
+
+    def compact(self) -> int:
+        """Rewrite the log keeping only this namespace; returns kept count.
+
+        Garbage-collects entries from superseded fingerprints (and other
+        providers/modes).  Safe to call while the store is live.
+        """
+        with self._lock:
+            live: dict[str, np.ndarray] = {}
+            for name, offset in self._offsets.items():
+                live[name] = self._read_at(offset)
+            tmp_path = self.path.with_suffix(".tmp")
+            with open(tmp_path, "wb") as handle:
+                offsets: dict[str, int] = {}
+                for name, vector in live.items():
+                    record = {"v": self.fingerprint, "p": self.label,
+                              "m": self.mode, "n": name,
+                              "e": [float(x) for x in vector]}
+                    offsets[name] = handle.tell()
+                    handle.write(json.dumps(record,
+                                            ensure_ascii=False).encode())
+                    handle.write(b"\n")
+            tmp_path.replace(self.path)
+            self._offsets = offsets
+            return len(offsets)
+
+    def stats(self) -> dict:
+        """Hit/miss counters and tier sizes (feeds the metrics registry)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "memory_entries": len(self._lru),
+                "disk_entries": len(self._offsets),
+            }
+
+
+class PersistentProvider(EmbeddingProvider):
+    """Provider decorator backed by an :class:`EmbeddingStore`.
+
+    Drop-in for any :class:`~repro.service.providers.EmbeddingProvider`:
+    names found in the store (from *any* earlier process with the same
+    fingerprint) skip the inner encoder entirely; fresh names are encoded
+    once, persisted, and served from memory afterwards.
+    """
+
+    def __init__(self, inner: EmbeddingProvider, store: EmbeddingStore):
+        self.inner = inner
+        self.store = store
+        self.label = inner.label
+        self.dim = inner.dim
+        self._lock = threading.Lock()
+
+    def encode_names(self, names: list[str]) -> np.ndarray:
+        with self._lock:
+            found = self.store.get_many(names)
+            missing = [n for n in dict.fromkeys(names) if n not in found]
+            if missing:
+                vectors = self.inner.encode_names(missing)
+                fresh = {name: vector
+                         for name, vector in zip(missing, vectors)}
+                self.store.put_many(fresh)
+                found.update(fresh)
+            return np.stack([found[n] for n in names])
+
+    def stats(self) -> dict:
+        """The underlying store's counters."""
+        return self.store.stats()

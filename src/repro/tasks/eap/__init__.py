@@ -3,8 +3,10 @@
 from repro.tasks.eap.data import EapDataset, EventPair, build_eap_dataset
 from repro.tasks.eap.model import EapModel
 from repro.tasks.eap.experiment import EapExperiment, EapResult
+from repro.tasks.eap.serve import EapAdapter
 
 __all__ = [
+    "EapAdapter",
     "EapDataset",
     "EapExperiment",
     "EapModel",

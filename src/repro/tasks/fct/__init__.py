@@ -2,8 +2,10 @@
 
 from repro.tasks.fct.data import FctDataset, build_fct_dataset
 from repro.tasks.fct.experiment import FctExperiment, FctResult
+from repro.tasks.fct.serve import FctAdapter
 
 __all__ = [
+    "FctAdapter",
     "FctDataset",
     "FctExperiment",
     "FctResult",

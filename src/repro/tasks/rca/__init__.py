@@ -4,6 +4,7 @@ from repro.tasks.rca.data import RcaDataset, RcaState, build_rca_dataset
 from repro.tasks.rca.model import GcnLayer, RcaModel
 from repro.tasks.rca.gat import GatRcaModel, GraphAttentionLayer
 from repro.tasks.rca.experiment import RcaExperiment, RcaResult
+from repro.tasks.rca.serve import RcaAdapter, state_for_inference
 
 __all__ = [
     "GatRcaModel",
@@ -13,6 +14,8 @@ __all__ = [
     "RcaExperiment",
     "RcaModel",
     "RcaResult",
+    "RcaAdapter",
     "RcaState",
     "build_rca_dataset",
+    "state_for_inference",
 ]

@@ -1,0 +1,56 @@
+"""Validate ``python -m repro serve`` output for the ``serve-smoke`` target.
+
+Reads the server's JSON-lines responses from stdin and asserts the shape
+the protocol promises: every line parses, every request succeeded, embed
+responses carry vectors, and the stats response reports the request count
+and cache counters.  Exits non-zero (with a message) on any violation so
+``make serve-smoke`` fails loudly in CI.
+
+Usage::
+
+    printf '{"op":"ping"}\\n...' | python -m repro serve --stats \\
+        | python tools/check_serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def check(lines: list[str]) -> list[dict]:
+    """Validate response lines; returns the parsed responses."""
+    responses = []
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"line {number} is not JSON: {error}")
+        if not isinstance(response, dict) or "ok" not in response:
+            raise SystemExit(f"line {number} lacks an 'ok' field: {line}")
+        if not response["ok"]:
+            raise SystemExit(f"line {number} reports failure: {line}")
+        responses.append(response)
+    if not responses:
+        raise SystemExit("no responses on stdin")
+    by_op = {r["op"]: r for r in responses}
+    if "embed" in by_op:
+        embeddings = by_op["embed"].get("embeddings")
+        if not embeddings or not all(isinstance(row, list) and row
+                                     for row in embeddings):
+            raise SystemExit("embed response has no vectors")
+    if "stats" in by_op:
+        stats = by_op["stats"]
+        if stats.get("requests", 0) < 1 or "cache" not in stats \
+                or "p95" not in stats.get("latency", {}):
+            raise SystemExit(f"stats response incomplete: {stats}")
+    return responses
+
+
+if __name__ == "__main__":
+    checked = check(sys.stdin.readlines())
+    print(f"serve smoke OK: {len(checked)} valid responses "
+          f"({', '.join(sorted({r['op'] for r in checked}))})")
