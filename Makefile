@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce report api serve-smoke clean
+.PHONY: install test bench gradcheck reproduce report api serve-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Finite-difference verification of every layer/loss gradient
+# (repro.diagnostics sweep; exits non-zero on any mismatch).
+gradcheck:
+	$(PYTHON) tools/run_gradcheck.py
 
 # Regenerate every table/figure straight from the CLI (single seed).
 reproduce:

@@ -1,0 +1,36 @@
+"""Training-stack diagnostics: finite-difference gradient verification.
+
+``repro.diagnostics`` is the correctness tooling for the hand-written
+autograd engine: :func:`gradcheck` compares every analytic gradient produced
+by ``backward()`` against central-difference estimates, and
+:func:`run_sweep` applies it to every layer and loss in the library at small
+shapes (``make gradcheck`` / ``tools/run_gradcheck.py``).
+"""
+
+from repro.diagnostics.gradcheck import (
+    GradCheckReport,
+    GradCheckResult,
+    assert_gradcheck,
+    gradcheck,
+    module_targets,
+    numerical_gradient,
+)
+from repro.diagnostics.sweep import (
+    SweepCase,
+    case_names,
+    default_cases,
+    run_sweep,
+)
+
+__all__ = [
+    "GradCheckReport",
+    "GradCheckResult",
+    "SweepCase",
+    "assert_gradcheck",
+    "case_names",
+    "default_cases",
+    "gradcheck",
+    "module_targets",
+    "numerical_gradient",
+    "run_sweep",
+]

@@ -17,7 +17,13 @@ class MultiHeadSelfAttention(Module):
 
     Input/output shape is ``(batch, seq, d_model)``.  ``attention_mask`` is a
     ``(batch, seq)`` 0/1 validity mask; masked (0) key positions receive a
-    large negative bias before the softmax.
+    large negative bias before the softmax.  Callers that already hold the
+    additive ``(batch, 1, 1, seq)`` bias (the encoder stack builds it once
+    per forward) can pass it via ``mask_bias`` instead.
+
+    ``return_weights=True`` returns the *pre-dropout* attention
+    distributions — rows always sum to one, which is what the Fig. 10
+    numeric-attention visualisations plot.
     """
 
     def __init__(self, d_model: int, num_heads: int, rng: np.random.Generator,
@@ -39,6 +45,7 @@ class MultiHeadSelfAttention(Module):
         return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
     def forward(self, x: Tensor, attention_mask: np.ndarray | None = None,
+                mask_bias: np.ndarray | None = None,
                 return_weights: bool = False):
         batch, seq, _ = x.shape
         q = self._split_heads(self.query(x), batch, seq)
@@ -46,13 +53,15 @@ class MultiHeadSelfAttention(Module):
         v = self._split_heads(self.value(x), batch, seq)
 
         scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
-        if attention_mask is not None:
-            scores = scores + Tensor(
-                F.attention_scores_mask(attention_mask, dtype=scores.dtype))
+        if mask_bias is None and attention_mask is not None:
+            mask_bias = F.attention_scores_mask(attention_mask,
+                                                dtype=scores.dtype)
+        if mask_bias is not None:
+            scores = scores + Tensor(mask_bias)
         weights = F.softmax(scores, axis=-1)
-        weights = self.dropout(weights)
+        dropped = self.dropout(weights)
 
-        context = weights @ v  # (B, H, T, Dh)
+        context = dropped @ v  # (B, H, T, Dh)
         context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
         out = self.output(context)
         if return_weights:

@@ -99,12 +99,11 @@ class AdamW(Adam):
 
 def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
     """Clip gradients in-place to a global L2 norm; returns the pre-clip norm."""
-    total = 0.0
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
     grads = [p.grad for p in parameters if p.grad is not None]
-    for grad in grads:
-        total += float((grad * grad).sum())
-    norm = math.sqrt(total)
-    if norm > max_norm > 0:
+    norm = math.sqrt(sum(float(np.vdot(g, g)) for g in grads))
+    if norm > max_norm:
         scale = max_norm / (norm + 1e-12)
         for grad in grads:
             grad *= scale

@@ -25,8 +25,10 @@ class TransformerEncoderLayer(Module):
         self.ffn_norm = LayerNorm(d_model)
         self.dropout = Dropout(dropout, rng)
 
-    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
-        attended = self.attention(x, attention_mask=attention_mask)
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None,
+                mask_bias: np.ndarray | None = None) -> Tensor:
+        attended = self.attention(x, attention_mask=attention_mask,
+                                  mask_bias=mask_bias)
         x = self.attention_norm(x + self.dropout(attended))
         hidden = self.ffn_out(F.gelu(self.ffn_in(x)))
         return self.ffn_norm(x + self.dropout(hidden))
@@ -50,9 +52,13 @@ class TransformerEncoder(Module):
 
     def forward(self, x: Tensor, attention_mask: np.ndarray | None = None,
                 return_all_layers: bool = False):
+        # Build the additive attention bias once for the whole stack rather
+        # than once per layer.
+        mask_bias = (F.attention_scores_mask(attention_mask, dtype=x.dtype)
+                     if attention_mask is not None else None)
         all_layers = []
         for layer in self.layers:
-            x = layer(x, attention_mask=attention_mask)
+            x = layer(x, mask_bias=mask_bias)
             if return_all_layers:
                 all_layers.append(x)
         if return_all_layers:

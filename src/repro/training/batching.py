@@ -45,7 +45,15 @@ class BatchIterator:
         return batch
 
     def __iter__(self) -> Iterator[list]:
-        """Iterate over exactly one epoch of batches."""
-        self._reshuffle()
-        while self._cursor < len(self.items):
-            yield self.next_batch()
+        """Iterate over exactly one epoch of batches.
+
+        The epoch is an *independent view*: it draws its own shuffle order
+        and leaves ``_cursor`` / ``epochs_completed`` untouched, so mixing
+        iteration with :meth:`next_batch` never drops items queued in the
+        step-based stream.
+        """
+        order = np.arange(len(self.items))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        for start in range(0, len(self.items), self.batch_size):
+            yield [self.items[i] for i in order[start:start + self.batch_size]]

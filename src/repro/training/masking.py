@@ -6,6 +6,10 @@ the LTP role is played by :class:`repro.tokenization.WholeWordSegmenter`).
 The re-training stage uses a 40% rate instead of BERT's 15% (Wettig et al.).
 Prompt special tokens and numeric-value positions are excluded from the
 target candidates (Sec. IV-C), as are padding / ``[CLS]`` / ``[SEP]``.
+
+The 80/10/10 corruption is applied in one vectorised pass over all selected
+positions of the batch; the 10% random replacement never re-draws the
+original token, so a "random" slot is guaranteed to actually corrupt.
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ class DynamicMasker:
         self.segmenter = segmenter
         self.mask_token_prob = mask_token_prob
         self.random_token_prob = random_token_prob
+        self._pool_cache: tuple[tuple[int, int], np.ndarray] | None = None
 
     @property
     def _special_ids(self) -> set[int]:
@@ -58,15 +63,25 @@ class DynamicMasker:
         # the masker is constructed (Sec. IV-A3).
         return self.vocab.special_ids()
 
+    def _replacement_pool(self, special: set[int]) -> np.ndarray:
+        """Sorted non-special ids, cached until the vocabulary changes."""
+        key = (len(self.vocab), len(special))
+        if self._pool_cache is None or self._pool_cache[0] != key:
+            pool = np.setdiff1d(np.arange(len(self.vocab), dtype=np.int64),
+                                np.fromiter(special, dtype=np.int64,
+                                            count=len(special)))
+            self._pool_cache = (key, pool)
+        return self._pool_cache[1]
+
     # ------------------------------------------------------------------
     def _candidate_units(self, row_ids: np.ndarray, row_mask: np.ndarray,
                          row_tokens: list[str] | None,
                          excluded: set[int]) -> list[list[int]]:
         """Maskable whole-word units for one sequence."""
         length = int(row_mask.sum())
-        valid = [i for i in range(length)
-                 if int(row_ids[i]) not in self._special_ids
-                 and i not in excluded]
+        special = self._special_ids
+        valid = {i for i in range(length)
+                 if int(row_ids[i]) not in special and i not in excluded}
         if self.segmenter is not None and row_tokens is not None:
             groups = self.segmenter.segment(row_tokens[:length])
             units = []
@@ -75,7 +90,68 @@ class DynamicMasker:
                 if kept:
                     units.append(kept)
             return units
-        return [[i] for i in valid]
+        return [[i] for i in sorted(valid)]
+
+    def _select_positions(self, ids: np.ndarray, attention_mask: np.ndarray,
+                          tokens: list[list[str]] | None,
+                          excluded_positions: list[set[int]] | None,
+                          special_array: np.ndarray
+                          ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample masked (row, column) pairs for the whole batch."""
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        lengths = attention_mask.astype(bool).sum(axis=1)
+        plain_valid = ~np.isin(ids, special_array)
+        for row in range(ids.shape[0]):
+            row_excluded = excluded_positions[row] if excluded_positions else set()
+            row_tokens = tokens[row] if tokens is not None else None
+            if self.segmenter is not None and row_tokens is not None:
+                units = self._candidate_units(ids[row], attention_mask[row],
+                                              row_tokens, row_excluded)
+                if not units:
+                    continue
+                total_positions = sum(len(u) for u in units)
+                target = max(1, int(round(total_positions * self.masking_rate)))
+                order = self.rng.permutation(len(units))
+                chosen: list[int] = []
+                for unit_index in order:
+                    if len(chosen) >= target:
+                        break
+                    chosen.extend(units[unit_index])
+                chosen_arr = np.asarray(chosen, dtype=np.int64)
+            else:
+                candidates = np.flatnonzero(plain_valid[row, :lengths[row]])
+                if row_excluded:
+                    keep = ~np.isin(candidates,
+                                    np.fromiter(row_excluded, dtype=np.int64,
+                                                count=len(row_excluded)))
+                    candidates = candidates[keep]
+                if candidates.size == 0:
+                    continue
+                target = max(1, int(round(candidates.size * self.masking_rate)))
+                chosen_arr = candidates[
+                    self.rng.permutation(candidates.size)[:target]]
+            rows.append(np.full(chosen_arr.size, row, dtype=np.int64))
+            cols.append(chosen_arr)
+        if not rows:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(rows), np.concatenate(cols)
+
+    def _random_replacements(self, originals: np.ndarray,
+                             pool: np.ndarray) -> np.ndarray:
+        """Draw replacement ids from ``pool``, never returning the original."""
+        position = np.searchsorted(pool, originals)
+        in_pool = (position < pool.size) & \
+            (pool[np.minimum(position, pool.size - 1)] == originals)
+        available = pool.size - in_pool.astype(np.int64)
+        # A pool collapsed onto the original token leaves nothing to draw;
+        # keep the original there rather than sampling an invalid index.
+        drawable = available > 0
+        draws = self.rng.integers(0, np.maximum(available, 1))
+        draws += in_pool & (draws >= position)
+        replacements = pool[np.minimum(draws, pool.size - 1)]
+        return np.where(drawable, replacements, originals)
 
     def mask_batch(self, ids: np.ndarray, attention_mask: np.ndarray,
                    tokens: list[list[str]] | None = None,
@@ -92,33 +168,25 @@ class DynamicMasker:
         labels = np.full_like(ids, IGNORE_INDEX)
         masked = np.zeros(ids.shape, dtype=bool)
         special = self._special_ids
-        replacement_pool = np.array(
-            [i for i in range(len(self.vocab)) if i not in special],
-            dtype=np.int64)
+        pool = self._replacement_pool(special)
+        special_array = np.fromiter(special, dtype=np.int64, count=len(special))
 
-        for row in range(ids.shape[0]):
-            row_excluded = excluded_positions[row] if excluded_positions else set()
-            row_tokens = tokens[row] if tokens is not None else None
-            units = self._candidate_units(ids[row], attention_mask[row],
-                                          row_tokens, row_excluded)
-            if not units:
-                continue
-            total_positions = sum(len(u) for u in units)
-            target = max(1, int(round(total_positions * self.masking_rate)))
-            order = self.rng.permutation(len(units))
-            chosen: list[int] = []
-            for unit_index in order:
-                if len(chosen) >= target:
-                    break
-                chosen.extend(units[unit_index])
-            for position in chosen:
-                labels[row, position] = ids[row, position]
-                masked[row, position] = True
-                roll = self.rng.random()
-                if roll < self.mask_token_prob:
-                    out_ids[row, position] = self.vocab.mask_id
-                elif roll < self.mask_token_prob + self.random_token_prob:
-                    out_ids[row, position] = int(replacement_pool[
-                        self.rng.integers(len(replacement_pool))])
-                # else: keep original token (10% case)
+        rows, cols = self._select_positions(ids, attention_mask, tokens,
+                                            excluded_positions, special_array)
+        if rows.size == 0:
+            return MaskedBatch(ids=out_ids, labels=labels, mask_positions=masked)
+
+        labels[rows, cols] = ids[rows, cols]
+        masked[rows, cols] = True
+
+        rolls = self.rng.random(rows.size)
+        use_mask = rolls < self.mask_token_prob
+        use_random = ~use_mask & \
+            (rolls < self.mask_token_prob + self.random_token_prob)
+        # else: keep original token (10% case)
+        out_ids[rows[use_mask], cols[use_mask]] = self.vocab.mask_id
+        if use_random.any():
+            originals = ids[rows[use_random], cols[use_random]]
+            out_ids[rows[use_random], cols[use_random]] = \
+                self._random_replacements(originals, pool)
         return MaskedBatch(ids=out_ids, labels=labels, mask_positions=masked)

@@ -1,0 +1,335 @@
+"""Gradient-check harness tests + hot-path regression coverage.
+
+Property-based broadcasting checks for the numerically delicate functional
+ops, self-tests of the :mod:`repro.diagnostics` harness (it must catch a
+deliberately broken gradient), the full library sweep, and regressions for
+the masking / attention / optim / batching fixes that the harness gates.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.diagnostics import (
+    assert_gradcheck,
+    gradcheck,
+    module_targets,
+    run_sweep,
+)
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+from repro.tokenization.vocab import Vocab
+from repro.training.batching import BatchIterator
+from repro.training.masking import DynamicMasker
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# Harness self-tests
+# ----------------------------------------------------------------------
+
+class TestHarness:
+    def test_correct_gradient_passes(self):
+        x = Tensor(rng().normal(size=(3, 4)), requires_grad=True)
+        report = assert_gradcheck(lambda: (x * x).sum(), {"x": x},
+                                  name="square")
+        assert report.passed and report.max_rel_err < 1e-6
+
+    def test_broken_gradient_detected(self):
+        # x * detach(x) backpropagates x instead of 2x.
+        x = Tensor(rng().normal(size=(4,)) + 1.0, requires_grad=True)
+        report = gradcheck(lambda: (x * x.detach()).sum(), {"x": x},
+                           name="broken")
+        assert not report.passed
+        assert report.worst().max_rel_err > 1e-2
+
+    def test_assert_raises_on_mismatch(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        with pytest.raises(AssertionError, match="gradient mismatch"):
+            assert_gradcheck(lambda: (x * x.detach()).sum(), {"x": x})
+
+    def test_rejects_non_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError, match="scalar"):
+            gradcheck(lambda: x * 2.0, {"x": x})
+
+    def test_rejects_grad_free_target(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(ValueError, match="does not require grad"):
+            gradcheck(lambda: x.sum(), {"x": x})
+
+    def test_module_targets_collects_params_and_inputs(self):
+        layer = nn.Linear(3, 2, rng())
+        x = Tensor(np.ones((1, 3)), requires_grad=True)
+        wrt = module_targets(layer, {"x": x})
+        assert set(wrt) == {"param:weight", "param:bias", "input:x"}
+
+
+# ----------------------------------------------------------------------
+# Property-based broadcasting checks
+# ----------------------------------------------------------------------
+
+class TestBroadcastingGradients:
+    @settings(max_examples=10, deadline=None)
+    @given(batch=st.integers(1, 3), classes=st.integers(2, 5),
+           axis=st.sampled_from([-1, 0, 1]), seed=st.integers(0, 10 ** 6))
+    def test_softmax_axes(self, batch, classes, axis, seed):
+        r = rng(seed)
+        x = Tensor(r.normal(size=(batch, classes)), requires_grad=True)
+        w = Tensor(r.normal(size=(batch, classes)))
+        assert_gradcheck(lambda: (F.softmax(x, axis=axis) * w).sum(),
+                         {"x": x}, name=f"softmax-axis{axis}")
+
+    @settings(max_examples=10, deadline=None)
+    @given(batch=st.integers(1, 3), seq=st.integers(1, 3),
+           dim=st.integers(2, 5), seed=st.integers(0, 10 ** 6))
+    def test_layer_norm_broadcast_gain(self, batch, seq, dim, seed):
+        r = rng(seed)
+        x = Tensor(r.normal(size=(batch, seq, dim)), requires_grad=True)
+        weight = Tensor(r.normal(size=dim), requires_grad=True)
+        bias = Tensor(r.normal(size=dim), requires_grad=True)
+        assert_gradcheck(
+            lambda: (F.layer_norm(x, weight, bias) * 0.5).sum(),
+            {"x": x, "weight": weight, "bias": bias}, name="layer_norm")
+
+    @settings(max_examples=10, deadline=None)
+    @given(batch=st.integers(1, 3), seq=st.integers(1, 4),
+           dim=st.integers(1, 4), seed=st.integers(0, 10 ** 6))
+    def test_masked_mean_with_empty_rows(self, batch, seq, dim, seed):
+        r = rng(seed)
+        x = Tensor(r.normal(size=(batch, seq, dim)), requires_grad=True)
+        mask = (r.random((batch, seq)) > 0.4).astype(float)
+        mask[0, :] = 0.0  # zero-count row exercises the count clamp
+        w = Tensor(r.normal(size=(batch, dim)))
+        assert_gradcheck(lambda: (F.masked_mean(x, mask) * w).sum(),
+                         {"x": x}, name="masked_mean")
+
+    @settings(max_examples=10, deadline=None)
+    @given(batch=st.integers(1, 3), classes=st.integers(1, 4),
+           weight_kind=st.sampled_from(["full", "row", "none"]),
+           seed=st.integers(0, 10 ** 6))
+    def test_bce_with_logits_weight_broadcast(self, batch, classes,
+                                              weight_kind, seed):
+        r = rng(seed)
+        logits = Tensor(r.normal(size=(batch, classes)) + 0.1,
+                        requires_grad=True)
+        targets = r.integers(0, 2, size=(batch, classes)).astype(float)
+        weight = {"full": r.uniform(0.5, 2.0, size=(batch, classes)),
+                  "row": r.uniform(0.5, 2.0, size=(1, classes)),
+                  "none": None}[weight_kind]
+        assert_gradcheck(
+            lambda: F.binary_cross_entropy_with_logits(logits, targets,
+                                                       weight=weight),
+            {"logits": logits}, name="bce")
+
+    @settings(max_examples=10, deadline=None)
+    @given(left=st.integers(1, 3), right=st.integers(1, 3),
+           dim=st.integers(2, 4), seed=st.integers(0, 10 ** 6))
+    def test_cosine_similarity_broadcast(self, left, right, dim, seed):
+        r = rng(seed)
+        a = Tensor(r.normal(size=(left, 1, dim)), requires_grad=True)
+        b = Tensor(r.normal(size=(right, dim)), requires_grad=True)
+        w = Tensor(r.normal(size=(left, right)))
+        assert_gradcheck(lambda: (F.cosine_similarity(a, b) * w).sum(),
+                         {"a": a, "b": b}, name="cosine")
+
+
+# ----------------------------------------------------------------------
+# Library-wide sweep
+# ----------------------------------------------------------------------
+
+class TestSweep:
+    def test_full_sweep_passes(self):
+        reports = run_sweep()
+        assert len(reports) >= 40
+        failing = [r.summary() for r in reports if not r.passed]
+        assert not failing, "\n".join(failing)
+        assert max(r.max_rel_err for r in reports) < 1e-4
+
+    def test_name_filter(self):
+        reports = run_sweep(["kge."])
+        assert {r.name for r in reports} >= {"kge.TransE", "kge.RotatE"}
+        with pytest.raises(ValueError, match="no sweep case"):
+            run_sweep(["definitely-not-a-case"])
+
+
+# ----------------------------------------------------------------------
+# Masking regressions
+# ----------------------------------------------------------------------
+
+def _vocab(extra=50):
+    return Vocab([f"tok{i}" for i in range(extra)])
+
+
+class TestMaskingRegressions:
+    def test_random_replacement_never_keeps_original(self):
+        vocab = _vocab(30)
+        masker = DynamicMasker(vocab, rng(3), masking_rate=0.9,
+                               mask_token_prob=0.0, random_token_prob=1.0)
+        ids = np.full((8, 16), vocab.token_to_id("tok5"))
+        mask = np.ones_like(ids)
+        for _ in range(10):
+            out = masker.mask_batch(ids, mask)
+            changed = out.mask_positions
+            assert changed.any()
+            assert (out.ids[changed] != ids[changed]).all()
+            assert not np.isin(out.ids[changed],
+                               list(vocab.special_ids())).any()
+
+    def test_pool_cache_invalidated_by_vocab_growth(self):
+        vocab = _vocab(10)
+        masker = DynamicMasker(vocab, rng(0))
+        ids = np.tile(np.arange(5, 15), (2, 1))
+        mask = np.ones_like(ids)
+        masker.mask_batch(ids, mask)
+        first_pool = masker._pool_cache[1]
+        vocab.add_tokens([f"new{i}" for i in range(40)])
+        masker.mask_batch(ids, mask)
+        second_pool = masker._pool_cache[1]
+        assert second_pool.size == first_pool.size + 40
+
+    def test_pool_cache_invalidated_by_special_promotion(self):
+        vocab = _vocab(10)
+        masker = DynamicMasker(vocab, rng(0), mask_token_prob=0.0,
+                               random_token_prob=1.0, masking_rate=0.9)
+        ids = np.tile(np.arange(5, 15), (4, 1))
+        mask = np.ones_like(ids)
+        masker.mask_batch(ids, mask)
+        # Promote an existing plain token: same vocab length, fewer poolable.
+        vocab.add_special_tokens(["tok0"])
+        for _ in range(10):
+            out = masker.mask_batch(ids, mask)
+            changed = out.mask_positions
+            assert not (out.ids[changed] == vocab.token_to_id("tok0")).any()
+
+    def test_excluded_and_special_positions_untouched(self):
+        vocab = _vocab(20)
+        masker = DynamicMasker(vocab, rng(1), masking_rate=0.9)
+        ids = np.tile(np.arange(5, 17), (3, 1))
+        ids[:, 0] = vocab.cls_id
+        ids[:, -1] = vocab.sep_id
+        mask = np.ones_like(ids)
+        excluded = [{3, 4}, set(), {6}]
+        out = masker.mask_batch(ids, mask, excluded_positions=excluded)
+        assert not out.mask_positions[:, 0].any()
+        assert not out.mask_positions[:, -1].any()
+        assert not out.mask_positions[0, 3] and not out.mask_positions[0, 4]
+        assert not out.mask_positions[2, 6]
+
+    def test_padding_never_masked(self):
+        vocab = _vocab(20)
+        masker = DynamicMasker(vocab, rng(2), masking_rate=0.9)
+        ids = np.tile(np.arange(5, 13), (2, 1))
+        mask = np.ones_like(ids)
+        mask[:, 5:] = 0
+        out = masker.mask_batch(ids, mask)
+        assert not out.mask_positions[:, 5:].any()
+        assert (out.ids[:, 5:] == ids[:, 5:]).all()
+
+    def test_labels_only_at_masked_positions(self):
+        vocab = _vocab(20)
+        masker = DynamicMasker(vocab, rng(4))
+        ids = np.tile(np.arange(5, 21), (2, 1))
+        mask = np.ones_like(ids)
+        out = masker.mask_batch(ids, mask)
+        assert (out.labels[out.mask_positions] ==
+                ids[out.mask_positions]).all()
+        assert (out.labels[~out.mask_positions] == -100).all()
+
+
+# ----------------------------------------------------------------------
+# Batching regressions
+# ----------------------------------------------------------------------
+
+class TestBatchIteratorIsolation:
+    def test_iteration_does_not_drop_queued_items(self):
+        it = BatchIterator(list(range(10)), 3, rng(0))
+        first = it.next_batch()
+        queued = [it.items[i] for i in it._order[it._cursor:]]
+        epochs_before = it.epochs_completed
+
+        epoch = [x for batch in it for x in batch]  # independent view
+        assert sorted(epoch) == list(range(10))
+        assert it.epochs_completed == epochs_before
+
+        resumed = []
+        while len(resumed) < len(queued):
+            resumed.extend(it.next_batch())
+        assert resumed == queued
+        assert sorted(first + resumed) == list(range(10))
+
+    def test_iteration_is_reshuffled_per_epoch(self):
+        it = BatchIterator(list(range(12)), 4, rng(0))
+        a = [x for batch in it for x in batch]
+        b = [x for batch in it for x in batch]
+        assert sorted(a) == sorted(b) == list(range(12))
+        assert a != b  # vanishingly unlikely to collide when shuffled
+
+    def test_unshuffled_iteration_preserves_order(self):
+        it = BatchIterator(list(range(7)), 3, rng(0), shuffle=False)
+        assert [x for batch in it for x in batch] == list(range(7))
+
+
+# ----------------------------------------------------------------------
+# Optimizer + attention regressions
+# ----------------------------------------------------------------------
+
+class TestClipGradNorm:
+    def test_non_positive_max_norm_raises(self):
+        p = nn.Parameter(np.array([1.0]))
+        p.grad = np.array([1.0])
+        with pytest.raises(ValueError, match="max_norm"):
+            nn.clip_grad_norm([p], max_norm=0.0)
+        with pytest.raises(ValueError, match="max_norm"):
+            nn.clip_grad_norm([p], max_norm=-2.0)
+
+    def test_global_norm_over_many_params(self):
+        params = []
+        for i in range(4):
+            p = nn.Parameter(np.ones((2, 3)))
+            p.grad = np.full((2, 3), float(i + 1))
+            params.append(p)
+        expected = np.sqrt(sum(6.0 * (i + 1) ** 2 for i in range(4)))
+        norm = nn.clip_grad_norm(params, max_norm=1.0)
+        assert abs(norm - expected) < 1e-9
+        total = sum(float(np.vdot(p.grad, p.grad)) for p in params)
+        assert abs(np.sqrt(total) - 1.0) < 1e-6
+
+
+class TestAttentionWeights:
+    def test_returned_weights_are_pre_dropout(self):
+        attn = nn.MultiHeadSelfAttention(8, 2, rng(0), dropout=0.6)
+        attn.train()
+        x = Tensor(rng(1).normal(size=(2, 6, 8)))
+        _, weights = attn(x, return_weights=True)
+        # Pre-dropout rows are exact distributions even in training mode.
+        assert np.allclose(weights.data.sum(axis=-1), 1.0)
+        assert (weights.data >= 0).all()
+
+    def test_precomputed_mask_bias_matches_mask(self):
+        attn = nn.MultiHeadSelfAttention(8, 2, rng(0))
+        attn.eval()
+        x = Tensor(rng(1).normal(size=(2, 5, 8)))
+        mask = np.array([[1, 1, 1, 0, 0], [1, 1, 1, 1, 1]])
+        bias = F.attention_scores_mask(mask)
+        out_mask = attn(x, attention_mask=mask)
+        out_bias = attn(x, mask_bias=bias)
+        assert np.allclose(out_mask.data, out_bias.data)
+
+    def test_encoder_stack_masking_unchanged(self):
+        encoder = nn.TransformerEncoder(2, 8, 2, 16, rng(0))
+        encoder.eval()
+        x_data = rng(1).normal(size=(1, 4, 8))
+        mask = np.array([[1, 1, 0, 0]])
+        out = encoder(Tensor(x_data), attention_mask=mask)
+        # Padded key positions must not influence valid positions: perturb
+        # the padded inputs and check the valid outputs are unchanged.
+        perturbed = x_data.copy()
+        perturbed[0, 2:] += 10.0
+        out_perturbed = encoder(Tensor(perturbed), attention_mask=mask)
+        assert np.allclose(out.data[0, :2], out_perturbed.data[0, :2])
