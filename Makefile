@@ -2,13 +2,27 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench gradcheck reproduce report api serve-smoke clean
+.PHONY: install test test-fast test-slow lint bench gradcheck reproduce \
+	report api serve-smoke train-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# The two CI tiers: the fast tier runs on every interpreter of the matrix,
+# the slow tier (kill-and-resume integration, worker pools) once on 3.11.
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+test-slow:
+	$(PYTHON) -m pytest tests/ -m slow
+
+# Style gate (configuration lives in pyproject.toml).
+lint:
+	ruff check src/ tests/ tools/ benchmarks/
+	ruff format --check src/ tests/ tools/ benchmarks/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -42,6 +56,23 @@ serve-smoke:
 	  | $(PYTHON) -m repro serve --stats --max-wait-ms 2 \
 	  | $(PYTHON) tools/check_serve_smoke.py
 
+# Exercise the fault-tolerant training runtime end to end: train two steps,
+# pause (simulated interruption), resume from the snapshot, finish the
+# schedule, and check the replayed journal saw every step exactly once.
+train-smoke:
+	rm -rf .train-smoke
+	$(PYTHON) -m repro train --run-dir .train-smoke --size smoke \
+	  --steps 4 --checkpoint-every 2 --stop-after 2
+	$(PYTHON) -m repro train --run-dir .train-smoke --size smoke \
+	  --steps 4 --checkpoint-every 2
+	$(PYTHON) -c "from repro.serving import replay_journal; \
+	snap = replay_journal('.train-smoke/journal.jsonl').snapshot(); \
+	assert snap['counters']['train.steps'] == 4, snap; \
+	assert snap['counters']['train.events.run_complete'] == 1, snap; \
+	assert snap['counters']['train.events.resume'] == 1, snap; \
+	print('train-smoke ok:', snap['counters'])"
+	rm -rf .train-smoke
+
 clean:
-	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks .train-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

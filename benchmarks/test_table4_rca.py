@@ -5,7 +5,6 @@ pre-trained embeddings beat Random, tele-domain beats generic, and the
 knowledge-enhanced KTeleBERT family holds the best rows.
 """
 
-import numpy as np
 from conftest import save_and_print
 
 from repro.experiments import average_tables, format_table, run_table4

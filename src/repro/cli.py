@@ -11,6 +11,10 @@ Commands
 ``serve``      long-lived JSON-lines inference loop over stdin with dynamic
                micro-batching, a persistent embedding store, and a
                ``--stats`` metrics dump (see :mod:`repro.serving`).
+``train``      run stage-2 re-training under the fault-tolerant runtime:
+               atomic checkpoint/resume, optional multi-process gradient
+               workers, SIGINT/SIGTERM trapped into a final checkpoint,
+               and a JSONL run journal (see :mod:`repro.training.runtime`).
 """
 
 from __future__ import annotations
@@ -179,6 +183,136 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Model/data geometry presets for ``repro train``; kept deliberately coarse
+#: so a run directory pins its build with a handful of JSON scalars.
+_TRAIN_SIZES = {
+    "smoke": {"alarms_per_theme": 2, "kpis_per_theme": 2,
+              "topology_nodes": 8, "episodes": 4, "stage1_steps": 2,
+              "d_model": 16, "num_layers": 1, "num_heads": 2, "d_ff": 32,
+              "max_len": 24, "ke_negatives": 3},
+    "small": {"alarms_per_theme": 3, "kpis_per_theme": 3,
+              "topology_nodes": 12, "episodes": 8, "stage1_steps": 30,
+              "d_model": 32, "num_layers": 2, "num_heads": 4, "d_ff": 64,
+              "max_len": 32, "ke_negatives": 5},
+    "full": {"alarms_per_theme": 4, "kpis_per_theme": 4,
+             "topology_nodes": 20, "episodes": 16, "stage1_steps": 300,
+             "d_model": 64, "num_layers": 2, "num_heads": 4, "d_ff": 128,
+             "max_len": 48, "ke_negatives": 10},
+}
+
+#: The build-identity keys persisted to ``<run-dir>/config.json``.  Resuming
+#: reuses the stored values so the rebuilt model/data match the snapshot.
+_TRAIN_IDENTITY = ("seed", "size", "strategy", "steps", "batch_size",
+                   "ke_batch_size", "learning_rate")
+
+
+def _build_train_retrainer(config: dict):
+    """Deterministically build a stage-2 retrainer from a config dict."""
+    from repro.corpus import build_tele_corpus
+    from repro.kg import build_tele_kg
+    from repro.models import KTeleBert, KTeleBertConfig, TeleBertTrainer
+    from repro.training import build_strategy
+    from repro.training.retrainer import KTeleBertRetrainer
+    from repro.training.stage2 import build_stage2_data
+    from repro.world import TelecomWorld
+
+    seed = config["seed"]
+    size = _TRAIN_SIZES[config["size"]]
+    world = TelecomWorld.generate(
+        seed=seed, alarms_per_theme=size["alarms_per_theme"],
+        kpis_per_theme=size["kpis_per_theme"],
+        topology_nodes=size["topology_nodes"])
+    corpus = build_tele_corpus(world, seed=seed)
+    kg = build_tele_kg(world)
+    episodes = world.simulate_episodes(size["episodes"])
+    trainer = TeleBertTrainer(corpus.sentences, seed=seed,
+                              d_model=size["d_model"],
+                              num_layers=size["num_layers"],
+                              num_heads=size["num_heads"], d_ff=size["d_ff"],
+                              max_len=size["max_len"])
+    trainer.train(steps=size["stage1_steps"])
+    data = build_stage2_data(corpus, episodes, kg, seed=seed,
+                             ke_negatives=size["ke_negatives"])
+    model = KTeleBert.from_telebert(
+        trainer,
+        KTeleBertConfig(anenc_layers=1, anenc_meta=2, lora_rank=2,
+                        ke_negatives=size["ke_negatives"]),
+        tag_names=data.tag_names, normalizer=data.normalizer,
+        extra_vocabulary=data.vocabulary(), seed=seed)
+    strategy = build_strategy(config["strategy"], config["steps"])
+    return KTeleBertRetrainer(model, data, strategy, seed=seed,
+                              learning_rate=config["learning_rate"],
+                              batch_size=config["batch_size"],
+                              ke_batch_size=config["ke_batch_size"])
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.models import atomic_write_bytes
+    from repro.training import RuntimeConfig, TrainingRuntime
+
+    run_dir = Path(args.run_dir)
+    config = {"seed": args.seed, "size": args.size,
+              "strategy": args.strategy, "steps": args.steps,
+              "batch_size": args.batch_size,
+              "ke_batch_size": args.ke_batch_size,
+              "learning_rate": args.learning_rate}
+    config_path = run_dir / "config.json"
+    if config_path.exists():
+        stored = json.loads(config_path.read_text())
+        changed = [k for k in _TRAIN_IDENTITY if stored.get(k) != config[k]]
+        if changed:
+            print(f"note: reusing stored run config for {changed} "
+                  f"(a run directory pins its build identity)",
+                  file=sys.stderr)
+        config = {k: stored[k] for k in _TRAIN_IDENTITY}
+    else:
+        run_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(config_path,
+                           json.dumps(config, sort_keys=True).encode())
+
+    print(f"building stage-2 pipeline (size={config['size']}, "
+          f"seed={config['seed']}, strategy={config['strategy']}, "
+          f"steps={config['steps']})", file=sys.stderr)
+    retrainer = _build_train_retrainer(config)
+    runtime = TrainingRuntime(retrainer, RuntimeConfig(
+        run_dir=run_dir, workers=args.workers,
+        checkpoint_every_steps=args.checkpoint_every,
+        checkpoint_every_s=args.checkpoint_every_s,
+        keep_last=args.keep_last,
+        straggler_timeout_s=args.straggler_timeout))
+
+    if runtime.journal.is_interrupted():
+        print("journal shows an interrupted run; attempting resume",
+              file=sys.stderr)
+    resumed = runtime.resume_if_available()
+    if resumed is not None:
+        print(f"resumed from snapshot at step {resumed}", file=sys.stderr)
+
+    log = runtime.run(max_steps=args.stop_after)
+    step = retrainer.step_index
+    total = retrainer.strategy.total_steps
+    if runtime.interrupted:
+        print(f"interrupted at step {step}/{total}; checkpoint written — "
+              f"re-run the same command to resume", file=sys.stderr)
+        return 130
+    if step < total:
+        latest = runtime.snapshots.latest()
+        if latest is None or runtime.snapshots.index()[latest.name]["step"] \
+                != step:
+            runtime.checkpoint(reason="stop_after")
+        print(f"paused at step {step}/{total} (--stop-after); re-run to "
+              f"resume", file=sys.stderr)
+        return 0
+    if args.export:
+        from repro.models import save_ktelebert
+        path = save_ktelebert(retrainer.model, args.export)
+        print(f"exported KTeleBERT checkpoint to {path}", file=sys.stderr)
+    final = log.total[-1] if log.total else float("nan")
+    print(f"completed {step}/{total} steps; final loss {final:.4f}; "
+          f"journal at {runtime.journal.path}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -240,6 +374,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--stats", action="store_true",
                        help="dump the metrics registry to stderr at EOF")
     serve.set_defaults(func=_cmd_serve)
+
+    train = sub.add_parser(
+        "train",
+        help="stage-2 re-training under the fault-tolerant runtime")
+    train.add_argument("--run-dir", required=True,
+                       help="directory for snapshots, journal, and config")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--size", choices=sorted(_TRAIN_SIZES),
+                       default="small",
+                       help="model/data geometry preset")
+    train.add_argument("--strategy", choices=("stl", "pmtl", "imtl"),
+                       default="pmtl")
+    train.add_argument("--steps", type=int, default=60,
+                       help="total stage-2 steps in the schedule")
+    train.add_argument("--batch-size", type=int, default=8)
+    train.add_argument("--ke-batch-size", type=int, default=4)
+    train.add_argument("--learning-rate", type=float, default=1e-3)
+    train.add_argument("--workers", type=int, default=1,
+                       help="gradient worker processes (1 = serial)")
+    train.add_argument("--checkpoint-every", type=int, default=25,
+                       help="snapshot cadence in steps")
+    train.add_argument("--checkpoint-every-s", type=float, default=None,
+                       help="additional snapshot cadence in seconds")
+    train.add_argument("--keep-last", type=int, default=3,
+                       help="snapshots retained besides the best-loss one")
+    train.add_argument("--straggler-timeout", type=float, default=120.0,
+                       help="seconds to wait for a gradient worker")
+    train.add_argument("--stop-after", type=int, default=None,
+                       help="pause (with checkpoint) after N steps; used by "
+                            "the train-smoke interrupt/resume cycle")
+    train.add_argument("--export", default=None,
+                       help="save a serving checkpoint here on completion")
+    train.set_defaults(func=_cmd_train)
     return parser
 
 

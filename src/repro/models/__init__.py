@@ -18,10 +18,14 @@ from repro.models.electra import ElectraPretrainer, ElectraStepOutput
 from repro.models.ke import KnowledgeEmbeddingObjective
 from repro.models.telebert import TeleBertTrainer, pretrain_telebert
 from repro.models.checkpoint import (
+    TrainState,
+    atomic_write_bytes,
     checkpoint_fingerprint,
     load_ktelebert,
+    load_train_state,
     model_fingerprint,
     save_ktelebert,
+    save_train_state,
 )
 from repro.models.ktelebert import (
     KTeleBert,
@@ -44,10 +48,14 @@ __all__ = [
     "NumericRow",
     "TeleBertTrainer",
     "TextRow",
+    "TrainState",
     "TripleRow",
+    "atomic_write_bytes",
     "checkpoint_fingerprint",
     "load_ktelebert",
+    "load_train_state",
     "model_fingerprint",
     "pretrain_telebert",
     "save_ktelebert",
+    "save_train_state",
 ]

@@ -11,24 +11,40 @@ A checkpoint directory holds:
 
 This is what "service delivery" looks like operationally: the pre-training
 team ships the directory; task teams load it read-only and call ``encode``.
+
+Besides the shippable artifact, this module also persists *training state*
+(:func:`save_train_state` / :func:`load_train_state`): a single-file
+``.npz`` snapshot bundling model weights, optimizer moments, and the
+training loop's JSON state (RNG stream, batch cursors, step counter, loss
+history).  Snapshots are written atomically — serialised to a temporary
+file in the target directory, fsynced, then renamed over the final path —
+so a crash mid-write can never leave a truncated snapshot behind.  The
+fault-tolerant runtime (:mod:`repro.training.runtime`) restores them into
+a bit-exact continuation of the interrupted run.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import io
 import json
+import os
+import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from repro.models.bert import BertConfig, BertForMaskedLM
 from repro.models.ktelebert import KTeleBert, KTeleBertConfig
+from repro.nn.optim import Optimizer
 from repro.numeric.normalization import TagNormalizer
 from repro.tokenization.tokenizer import WordTokenizer
 from repro.tokenization.vocab import Vocab
 
 _FORMAT_VERSION = 1
+_TRAIN_STATE_VERSION = 1
 
 
 def _component_states(model: KTeleBert) -> dict[str, dict[str, np.ndarray]]:
@@ -161,3 +177,127 @@ def load_ktelebert(path: str | Path, seed: int = 0) -> KTeleBert:
                              "enables the tag classifier")
         model.tgc.load_state_dict(grouped["tgc"])
     return model
+
+
+# ----------------------------------------------------------------------
+# Training-state snapshots (checkpoint/resume for the training runtime)
+# ----------------------------------------------------------------------
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Durably write ``data`` to ``path``: temp file + fsync + rename.
+
+    The temporary file is created in the destination directory so the final
+    :func:`os.replace` is a same-filesystem atomic rename; the directory is
+    fsynced afterwards so the rename itself survives a power loss.  Readers
+    therefore always see either the previous complete file or the new
+    complete file, never a partial write.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.tmp-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return path
+
+
+@dataclass
+class TrainState:
+    """A full mid-run snapshot: weights + optimizer moments + loop state.
+
+    ``trainer_state`` is the retrainer's JSON state (RNG stream, batch
+    cursors, step counter, loss history, strategy identity);
+    ``extra`` carries runtime bookkeeping (e.g. MTL phase, run config).
+    """
+
+    step: int
+    loss: float
+    model_arrays: dict[str, dict[str, np.ndarray]]
+    optimizer_scalars: dict
+    optimizer_arrays: dict[str, np.ndarray]
+    optimizer_kind: str
+    trainer_state: dict
+    extra: dict
+
+    def apply(self, model: KTeleBert, optimizer: Optimizer) -> None:
+        """Restore this snapshot into an identically-built model/optimizer."""
+        model.mlm_model.load_state_dict(self.model_arrays["mlm_model"])
+        model.anenc.load_state_dict(self.model_arrays["anenc"])
+        model.ndec.load_state_dict(self.model_arrays["ndec"])
+        model.numeric_loss.awl.load_state_dict(self.model_arrays["awl"])
+        if model.tgc is not None:
+            if "tgc" not in self.model_arrays:
+                raise ValueError("train state lacks TGC weights but the "
+                                 "config enables the tag classifier")
+            model.tgc.load_state_dict(self.model_arrays["tgc"])
+        optimizer.load_state_dict({"kind": self.optimizer_kind,
+                                   "scalars": self.optimizer_scalars,
+                                   "arrays": self.optimizer_arrays})
+
+
+def save_train_state(path: str | Path, model: KTeleBert,
+                     optimizer: Optimizer, trainer_state: dict, *,
+                     step: int, loss: float,
+                     extra: dict | None = None) -> Path:
+    """Atomically write a single-file ``.npz`` training snapshot."""
+    optim_state = optimizer.state_dict()
+    meta = {
+        "format_version": _TRAIN_STATE_VERSION,
+        "step": int(step),
+        "loss": float(loss),
+        "optimizer": {"kind": optim_state["kind"],
+                      "scalars": optim_state["scalars"]},
+        "trainer_state": trainer_state,
+        "extra": extra or {},
+    }
+    arrays: dict[str, np.ndarray] = {
+        "__meta__": np.frombuffer(
+            json.dumps(meta, ensure_ascii=False).encode(), dtype=np.uint8),
+    }
+    for component, state in _component_states(model).items():
+        for name, values in state.items():
+            arrays[f"model/{component}/{name}"] = values
+    for name, values in optim_state["arrays"].items():
+        arrays[f"optim/{name}"] = values
+
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return atomic_write_bytes(path, buffer.getvalue())
+
+
+def load_train_state(path: str | Path) -> TrainState:
+    """Read a snapshot produced by :func:`save_train_state`."""
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode())
+        if meta.get("format_version") != _TRAIN_STATE_VERSION:
+            raise ValueError(f"unsupported train-state format: "
+                             f"{meta.get('format_version')!r}")
+        model_arrays: dict[str, dict[str, np.ndarray]] = {}
+        optimizer_arrays: dict[str, np.ndarray] = {}
+        for key in archive.files:
+            if key.startswith("model/"):
+                _, component, name = key.split("/", 2)
+                model_arrays.setdefault(component, {})[name] = archive[key]
+            elif key.startswith("optim/"):
+                optimizer_arrays[key[len("optim/"):]] = archive[key]
+    return TrainState(step=int(meta["step"]), loss=float(meta["loss"]),
+                      model_arrays=model_arrays,
+                      optimizer_scalars=meta["optimizer"]["scalars"],
+                      optimizer_arrays=optimizer_arrays,
+                      optimizer_kind=meta["optimizer"]["kind"],
+                      trainer_state=meta["trainer_state"],
+                      extra=meta["extra"])

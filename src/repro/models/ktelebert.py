@@ -113,6 +113,7 @@ class KTeleBert:
             use_contrastive=config.use_contrastive)
         self.ke_objective = KnowledgeEmbeddingObjective(gamma=config.ke_gamma)
         self._num_token_id = tokenizer.vocab.token_to_id(NUM)
+        self.last_batch_tokens = 0  # set by _prepare; journal throughput
 
     # ------------------------------------------------------------------
     # Construction from stage 1
@@ -190,8 +191,10 @@ class KTeleBert:
     def _prepare(self, rows: list) -> dict:
         """Tokenize rows; locate ``[NUM]`` slots for numeric rows."""
         texts = [r.text for r in rows]
-        ids, mask = self.tokenizer.encode_batch(texts)
-        tokens = [self.tokenizer.encode(t).tokens for t in texts]
+        ids, mask, tokens = self.tokenizer.encode_batch_with_tokens(texts)
+        # Cheap throughput accounting for the training runtime's journal;
+        # counting here avoids a second tokenization pass per step.
+        self.last_batch_tokens = int(mask.sum())
         numeric_rows: list[int] = []
         numeric_positions: list[tuple[int, int]] = []
         values: list[float] = []

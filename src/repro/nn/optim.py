@@ -26,6 +26,56 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpointing: a state dict splits JSON-serialisable scalars from
+    # per-parameter moment arrays so the training runtime can persist both
+    # in one ``.npz`` snapshot and restore a bit-exact continuation.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Scalars + per-parameter moment arrays for checkpointing."""
+        return {"kind": type(self).__name__.lower(),
+                "scalars": {"lr": self.lr},
+                "arrays": {}}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output; validates optimizer kind."""
+        if state.get("kind") != type(self).__name__.lower():
+            raise ValueError(
+                f"optimizer state is for {state.get('kind')!r}, "
+                f"not {type(self).__name__.lower()!r}")
+        self.lr = float(state["scalars"]["lr"])
+        self._load_arrays(state["arrays"])
+
+    def _load_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        if arrays:
+            raise ValueError(f"unexpected moment arrays: {sorted(arrays)}")
+
+    @staticmethod
+    def _check_moments(name: str, moments: list[np.ndarray],
+                       parameters: Sequence[Parameter]) -> None:
+        if len(moments) != len(parameters):
+            raise ValueError(
+                f"{name} count {len(moments)} does not match "
+                f"{len(parameters)} parameters")
+        for moment, param in zip(moments, parameters):
+            if moment.shape != param.data.shape:
+                raise ValueError(
+                    f"{name} shape {moment.shape} does not match "
+                    f"parameter shape {param.data.shape}")
+
+    @staticmethod
+    def _pack(name: str, moments: list[np.ndarray]) -> dict[str, np.ndarray]:
+        return {f"{name}/{i}": moment for i, moment in enumerate(moments)}
+
+    @staticmethod
+    def _unpack(name: str, arrays: dict[str, np.ndarray],
+                count: int) -> list[np.ndarray]:
+        try:
+            return [np.array(arrays[f"{name}/{i}"]) for i in range(count)]
+        except KeyError as error:
+            raise ValueError(
+                f"optimizer state lacks {error.args[0]!r}") from error
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -46,6 +96,21 @@ class SGD(Optimizer):
                 param.data -= self.lr * velocity
             else:
                 param.data -= self.lr * param.grad
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["scalars"]["momentum"] = self.momentum
+        state["arrays"] = self._pack("velocity", self._velocity)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["scalars"]["momentum"])
+
+    def _load_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        velocity = self._unpack("velocity", arrays, len(self.parameters))
+        self._check_moments("velocity", velocity, self.parameters)
+        self._velocity = velocity
 
 
 class Adam(Optimizer):
@@ -80,6 +145,33 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["scalars"].update({"beta1": self.betas[0],
+                                 "beta2": self.betas[1],
+                                 "eps": self.eps,
+                                 "weight_decay": self.weight_decay,
+                                 "t": self._t})
+        state["arrays"] = {**self._pack("m", self._m),
+                          **self._pack("v", self._v)}
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        scalars = state["scalars"]
+        self.betas = (float(scalars["beta1"]), float(scalars["beta2"]))
+        self.eps = float(scalars["eps"])
+        self.weight_decay = float(scalars["weight_decay"])
+        self._t = int(scalars["t"])
+
+    def _load_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        m = self._unpack("m", arrays, len(self.parameters))
+        v = self._unpack("v", arrays, len(self.parameters))
+        self._check_moments("m", m, self.parameters)
+        self._check_moments("v", v, self.parameters)
+        self._m = m
+        self._v = v
 
 
 class AdamW(Adam):
@@ -138,3 +230,15 @@ class LinearWarmupSchedule:
         lr = self.current_lr()
         self.optimizer.lr = lr
         return lr
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable schedule cursor for checkpointing."""
+        return {"peak_lr": self.peak_lr, "warmup_steps": self.warmup_steps,
+                "total_steps": self.total_steps, "step": self._step}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (cursor and shape)."""
+        self.peak_lr = float(state["peak_lr"])
+        self.warmup_steps = int(state["warmup_steps"])
+        self.total_steps = int(state["total_steps"])
+        self._step = int(state["step"])

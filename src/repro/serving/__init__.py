@@ -26,6 +26,7 @@ from repro.serving.metrics import (
     Histogram,
     MetricsRegistry,
     merge_hit_stats,
+    replay_journal,
 )
 from repro.serving.server import handle_request, serve_loop
 from repro.serving.service import (
@@ -48,5 +49,6 @@ __all__ = [
     "ServingError",
     "handle_request",
     "merge_hit_stats",
+    "replay_journal",
     "serve_loop",
 ]

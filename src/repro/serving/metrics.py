@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+from pathlib import Path
 from typing import Callable, Iterable
 
 
@@ -243,6 +244,47 @@ class _Timer:
 
     def __exit__(self, *exc_info) -> None:
         self._histogram.observe(time.perf_counter() - self._start)
+
+
+def replay_journal(path: str | Path,
+                   registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Replay a training-run journal into a metrics registry.
+
+    The training runtime (:mod:`repro.training.runtime`) appends one JSON
+    event per step plus lifecycle events to ``journal.jsonl``.  This folds
+    that log into the same instruments the serving stack exposes: step
+    counters, loss / throughput / wall-time histograms, and one structured
+    event per lifecycle transition — so ops tooling observes training and
+    serving through a single registry.  Malformed (torn) lines are skipped.
+    """
+    registry = registry or MetricsRegistry()
+    path = Path(path)
+    if not path.exists():
+        return registry
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        kind = event.get("kind")
+        if kind == "step":
+            registry.counter("train.steps").inc()
+            registry.counter("train.tokens").inc(int(event.get("tokens", 0)))
+            registry.histogram("train.loss").observe(
+                float(event.get("loss", 0.0)))
+            registry.histogram("train.tokens_per_sec").observe(
+                float(event.get("tokens_per_sec", 0.0)))
+            registry.histogram("train.step_wall_s").observe(
+                float(event.get("wall_s", 0.0)))
+            registry.gauge("train.step").set(int(event.get("step", 0)))
+        elif kind:
+            registry.counter(f"train.events.{kind}").inc()
+            registry.emit(kind,
+                          **{k: v for k, v in event.items() if k != "kind"})
+    return registry
 
 
 def merge_hit_stats(stats: Iterable[dict]) -> dict:

@@ -70,13 +70,31 @@ class WordTokenizer:
         mask = np.ones(len(wrapped), dtype=np.int64)
         return Encoding(ids=ids, attention_mask=mask, tokens=wrapped)
 
+    def encode_batch_with_tokens(
+            self, texts: Sequence[str], pad_to: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray, list[list[str]]]:
+        """Like :meth:`encode_batch` but also returns per-row token lists.
+
+        Tokenizes each text exactly once — callers that need both the padded
+        id matrices and the token strings (the stage-2 masking path) should
+        use this instead of calling :meth:`encode_batch` and :meth:`encode`
+        separately, which doubles the tokenization work per training step.
+        """
+        encodings = [self.encode(t) for t in texts]
+        ids, mask = self._pad(encodings, pad_to)
+        return ids, mask, [e.tokens for e in encodings]
+
     def encode_batch(self, texts: Sequence[str],
                      pad_to: int | None = None) -> tuple[np.ndarray, np.ndarray]:
         """Encode texts into padded ``(ids, attention_mask)`` matrices."""
-        encodings = [self.encode(t) for t in texts]
+        return self._pad([self.encode(t) for t in texts], pad_to)
+
+    def _pad(self, encodings: Sequence[Encoding],
+             pad_to: int | None = None) -> tuple[np.ndarray, np.ndarray]:
         length = pad_to or max(len(e.ids) for e in encodings)
-        ids = np.full((len(texts), length), self.vocab.pad_id, dtype=np.int64)
-        mask = np.zeros((len(texts), length), dtype=np.int64)
+        ids = np.full((len(encodings), length), self.vocab.pad_id,
+                      dtype=np.int64)
+        mask = np.zeros((len(encodings), length), dtype=np.int64)
         for row, enc in enumerate(encodings):
             n = min(len(enc.ids), length)
             ids[row, :n] = enc.ids[:n]

@@ -102,6 +102,11 @@ class Vocab:
         return frozenset(self._special)
 
     @property
+    def num_special(self) -> int:
+        """Number of special tokens; O(1) cache key for special-id caches."""
+        return len(self._special)
+
+    @property
     def pad_id(self) -> int:
         return self._token_to_id[PAD]
 

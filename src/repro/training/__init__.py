@@ -4,6 +4,8 @@
   40% rate and whole-word masking of Sec. IV-C.
 * :mod:`repro.training.batching` — deterministic shuffled mini-batching.
 * :mod:`repro.training.mtl` — the STL / PMTL / IMTL schedules of Table II.
+* :mod:`repro.training.runtime` — fault-tolerant, data-parallel stage-2
+  runtime: atomic checkpoint/resume, gradient worker pool, run journal.
 """
 
 from repro.training.masking import DynamicMasker, MaskedBatch
@@ -21,6 +23,13 @@ _LAZY = {
     "build_stage2_data": ("repro.training.stage2", "build_stage2_data"),
     "KTeleBertRetrainer": ("repro.training.retrainer", "KTeleBertRetrainer"),
     "RetrainingLog": ("repro.training.retrainer", "RetrainingLog"),
+    "StepLosses": ("repro.training.retrainer", "StepLosses"),
+    "GradientWorkerPool": ("repro.training.runtime", "GradientWorkerPool"),
+    "RunJournal": ("repro.training.runtime", "RunJournal"),
+    "RuntimeConfig": ("repro.training.runtime", "RuntimeConfig"),
+    "SnapshotStore": ("repro.training.runtime", "SnapshotStore"),
+    "TrainingRuntime": ("repro.training.runtime", "TrainingRuntime"),
+    "WorkerPoolError": ("repro.training.runtime", "WorkerPoolError"),
 }
 
 
@@ -35,13 +44,20 @@ def __getattr__(name):
 __all__ = [
     "BatchIterator",
     "DynamicMasker",
+    "GradientWorkerPool",
     "IMTL_SCHEDULE",
     "KTeleBertRetrainer",
     "MaskedBatch",
     "MtlStrategy",
     "RetrainingLog",
+    "RunJournal",
+    "RuntimeConfig",
+    "SnapshotStore",
     "Stage2Data",
+    "StepLosses",
     "TrainingPhase",
+    "TrainingRuntime",
+    "WorkerPoolError",
     "build_stage2_data",
     "build_strategy",
 ]

@@ -44,6 +44,30 @@ class BatchIterator:
         self._cursor = end
         return batch
 
+    def state(self) -> dict:
+        """JSON-serialisable iteration cursor (order, position, epoch).
+
+        Restoring it with :meth:`load_state` makes the next
+        :meth:`next_batch` call return exactly what it would have returned
+        had the process never stopped — the checkpoint/resume contract of
+        the training runtime.
+        """
+        return {
+            "order": [int(i) for i in self._order],
+            "cursor": int(self._cursor),
+            "epochs_completed": int(self.epochs_completed),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a cursor produced by :meth:`state` over the same items."""
+        order = np.asarray(state["order"], dtype=np.int64)
+        if order.shape != self._order.shape or \
+                sorted(order.tolist()) != list(range(len(self.items))):
+            raise ValueError("batch iterator state does not match the dataset")
+        self._order = order
+        self._cursor = int(state["cursor"])
+        self.epochs_completed = int(state["epochs_completed"])
+
     def __iter__(self) -> Iterator[list]:
         """Iterate over exactly one epoch of batches.
 

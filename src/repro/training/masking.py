@@ -56,12 +56,28 @@ class DynamicMasker:
         self.mask_token_prob = mask_token_prob
         self.random_token_prob = random_token_prob
         self._pool_cache: tuple[tuple[int, int], np.ndarray] | None = None
+        self._special_cache: \
+            tuple[tuple[int, int], set[int], np.ndarray] | None = None
+
+    def _special_state(self) -> tuple[set[int], np.ndarray]:
+        """Special ids as a set and sorted array, cached per vocab version.
+
+        The vocabulary may grow (special) tokens after the masker is
+        constructed (Sec. IV-A3), so the cache is keyed on the vocabulary
+        and special-token counts — O(1) per call instead of rebuilding the
+        set on every batch of the training hot loop.
+        """
+        key = (len(self.vocab), self.vocab.num_special)
+        if self._special_cache is None or self._special_cache[0] != key:
+            special = self.vocab.special_ids()
+            array = np.fromiter(sorted(special), dtype=np.int64,
+                                count=len(special))
+            self._special_cache = (key, special, array)
+        return self._special_cache[1], self._special_cache[2]
 
     @property
     def _special_ids(self) -> set[int]:
-        # Recomputed on access: the vocabulary may grow special tokens after
-        # the masker is constructed (Sec. IV-A3).
-        return self.vocab.special_ids()
+        return self._special_state()[0]
 
     def _replacement_pool(self, special: set[int]) -> np.ndarray:
         """Sorted non-special ids, cached until the vocabulary changes."""
@@ -167,9 +183,8 @@ class DynamicMasker:
         out_ids = ids.copy()
         labels = np.full_like(ids, IGNORE_INDEX)
         masked = np.zeros(ids.shape, dtype=bool)
-        special = self._special_ids
+        special, special_array = self._special_state()
         pool = self._replacement_pool(special)
-        special_array = np.fromiter(special, dtype=np.int64, count=len(special))
 
         rows, cols = self._select_positions(ids, attention_mask, tokens,
                                             excluded_positions, special_array)

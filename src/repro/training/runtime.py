@@ -1,0 +1,618 @@
+"""Fault-tolerant, data-parallel stage-2 training runtime.
+
+Production pre-training runs die — preempted nodes, OOM kills, operator
+Ctrl-C — and single-core loops waste the hardware.  This module wraps
+:class:`~repro.training.retrainer.KTeleBertRetrainer` with the three
+capabilities the paper's longest loop needs to survive outside a notebook:
+
+* **Checkpoint/resume** — on a configurable step/time cadence the runtime
+  writes a full :class:`~repro.models.checkpoint.TrainState` snapshot
+  (model weights, optimizer moments, RNG stream, batch cursors, step and
+  loss history) atomically via temp-file + fsync + rename.  A retention
+  policy keeps the last K snapshots plus the best-loss one.  Restoring the
+  latest snapshot continues the run *bit-exactly*: the resumed loss
+  trajectory is identical to the uninterrupted one.
+
+* **Multi-process data parallelism** — each step's batch is sharded across
+  N forked workers holding model replicas; workers run forward/backward on
+  their shard with a deterministic per-``(seed, worker, step)`` RNG and
+  return gradients that the parent averages (allreduce-by-mean, weighted
+  by shard size) before the usual clip + Adam update.  A straggler timeout
+  bounds the wait for any worker; on timeout or worker failure the runtime
+  degrades to the serial path and keeps training.
+
+* **Run journal** — every step appends a structured JSONL event (step,
+  loss breakdown, tokens/sec, wall time) to ``journal.jsonl``; lifecycle
+  events (start, checkpoint, interrupt, resume, complete) make an
+  interrupted run detectable on restart.  The journal replays into a
+  :class:`~repro.serving.metrics.MetricsRegistry` via
+  :func:`repro.serving.metrics.replay_journal`.
+
+SIGINT/SIGTERM are trapped into a final checkpoint plus an ``interrupted``
+journal event, so a preempted run loses at most the in-flight step.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.models.checkpoint import (
+    TrainState,
+    atomic_write_bytes,
+    load_train_state,
+    save_train_state,
+)
+from repro.tensor.tensor import Tensor
+from repro.training.masking import DynamicMasker
+from repro.training.retrainer import (
+    KTeleBertRetrainer,
+    RetrainingLog,
+    StepLosses,
+    compute_stage2_losses,
+)
+
+JOURNAL_NAME = "journal.jsonl"
+SNAPSHOT_DIR = "snapshots"
+
+#: Journal event kinds that mark a run as cleanly finished.
+_TERMINAL_KINDS = frozenset({"run_complete"})
+
+
+class WorkerPoolError(RuntimeError):
+    """A gradient worker failed, died, or exceeded the straggler timeout."""
+
+
+# ----------------------------------------------------------------------
+# Run journal
+# ----------------------------------------------------------------------
+class RunJournal:
+    """Append-only JSONL event log describing one training run.
+
+    Each line is a self-contained JSON object with at least ``kind`` and
+    ``time``.  Appends are flushed and fsynced so the journal reflects
+    every completed step even after a hard crash; a torn final line (the
+    crash window) is tolerated by :meth:`events`.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def append(self, kind: str, **fields) -> dict:
+        """Write one event; returns the event dict."""
+        event = {"kind": kind, "time": time.time(), **fields}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(event, ensure_ascii=False) + "\n")
+            handle.flush()
+        return event
+
+    def events(self) -> list[dict]:
+        """All well-formed events, oldest first (torn tail lines skipped)."""
+        if not self.path.exists():
+            return []
+        events = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn write at crash time
+        return events
+
+    def last_event(self) -> dict | None:
+        events = self.events()
+        return events[-1] if events else None
+
+    def is_interrupted(self) -> bool:
+        """True when the journal records a run that never completed."""
+        last = self.last_event()
+        return last is not None and last.get("kind") not in _TERMINAL_KINDS
+
+
+# ----------------------------------------------------------------------
+# Snapshot store with retention
+# ----------------------------------------------------------------------
+class SnapshotStore:
+    """Directory of atomic ``step-XXXXXXXX.npz`` training snapshots.
+
+    Retention keeps the newest ``keep_last`` snapshots plus the one with
+    the best (lowest) recorded loss.  An ``index.json`` (also written
+    atomically) maps snapshot files to their step and loss so retention
+    and resume never need to open the ``.npz`` payloads.
+    """
+
+    def __init__(self, directory: str | Path, keep_last: int = 3):
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        self.directory = Path(directory)
+        self.keep_last = keep_last
+
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"step-{step:08d}.npz"
+
+    # -- index ---------------------------------------------------------
+    @property
+    def _index_path(self) -> Path:
+        return self.directory / "index.json"
+
+    def index(self) -> dict[str, dict]:
+        """filename → {"step": int, "loss": float} for retained snapshots."""
+        if not self._index_path.exists():
+            # Fall back to a directory scan (pre-index stores, manual edits).
+            entries = {}
+            for path in sorted(self.directory.glob("step-*.npz")):
+                try:
+                    step = int(path.stem.split("-")[1])
+                except (IndexError, ValueError):
+                    continue
+                entries[path.name] = {"step": step, "loss": float("inf")}
+            return entries
+        return json.loads(self._index_path.read_text())["snapshots"]
+
+    def _write_index(self, entries: dict[str, dict]) -> None:
+        payload = json.dumps({"snapshots": entries}, sort_keys=True)
+        atomic_write_bytes(self._index_path, payload.encode())
+
+    # -- save / prune / load -------------------------------------------
+    def save(self, model, optimizer, trainer_state: dict, *, step: int,
+             loss: float, extra: dict | None = None) -> Path:
+        """Write one snapshot, update the index, and apply retention."""
+        path = self.path_for(step)
+        save_train_state(path, model, optimizer, trainer_state,
+                         step=step, loss=loss, extra=extra)
+        entries = self.index()
+        entries[path.name] = {"step": int(step), "loss": float(loss)}
+        entries = self._prune(entries)
+        self._write_index(entries)
+        return path
+
+    def _prune(self, entries: dict[str, dict]) -> dict[str, dict]:
+        if len(entries) <= self.keep_last:
+            return entries
+        by_step = sorted(entries.items(), key=lambda kv: kv[1]["step"])
+        keep = {name for name, _ in by_step[-self.keep_last:]}
+        best = min(entries.items(), key=lambda kv: kv[1]["loss"])[0]
+        keep.add(best)
+        for name in list(entries):
+            if name not in keep:
+                (self.directory / name).unlink(missing_ok=True)
+                del entries[name]
+        return entries
+
+    def latest(self) -> Path | None:
+        """Path of the newest retained snapshot, or None."""
+        entries = self.index()
+        if not entries:
+            return None
+        name = max(entries.items(), key=lambda kv: kv[1]["step"])[0]
+        return self.directory / name
+
+    def best(self) -> Path | None:
+        """Path of the lowest-loss retained snapshot, or None."""
+        entries = self.index()
+        if not entries:
+            return None
+        name = min(entries.items(), key=lambda kv: kv[1]["loss"])[0]
+        return self.directory / name
+
+    def load_latest(self) -> TrainState | None:
+        path = self.latest()
+        return load_train_state(path) if path is not None else None
+
+
+# ----------------------------------------------------------------------
+# Gradient worker pool (multi-process data parallelism)
+# ----------------------------------------------------------------------
+def _flatten(arrays: list[np.ndarray]) -> np.ndarray:
+    return np.concatenate([np.asarray(a).ravel() for a in arrays])
+
+
+def _write_flat(flat: np.ndarray, targets: list) -> None:
+    offset = 0
+    for param in targets:
+        size = param.data.size
+        param.data[...] = flat[offset:offset + size].reshape(param.data.shape)
+        offset += size
+
+
+def _split_flat(flat: np.ndarray, like: list) -> list[np.ndarray]:
+    out = []
+    offset = 0
+    for param in like:
+        size = param.data.size
+        out.append(flat[offset:offset + size].reshape(param.data.shape))
+        offset += size
+    return out
+
+
+def _worker_main(conn, model, masking_rate: float, base_seed: int,
+                 worker_id: int) -> None:
+    """Worker loop: receive (params, shard), return averaged-ready grads.
+
+    Runs in a forked child, so ``model`` is this worker's private replica
+    of the parent model at pool-creation time; every step message carries
+    the current parameter vector, keeping replicas in sync with the
+    parent's optimizer.  The masking RNG is reseeded per
+    ``(base_seed, worker_id, step)`` so runs are reproducible and resumable
+    regardless of which steps each worker served before.
+    """
+    params = model.parameters()
+    model.train()
+    masker = DynamicMasker(model.tokenizer.vocab, np.random.default_rng(0),
+                           masking_rate=masking_rate)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if message[0] == "stop":
+            break
+        _, step, flat_params, rows, triples = message
+        try:
+            _write_flat(flat_params, params)
+            for param in params:
+                param.zero_grad()
+            # Step-keyed streams make each worker's computation independent
+            # of which steps it served before — required for bit-exact
+            # resume of parallel runs.  Masking and dropout get distinct
+            # SeedSequence branches so their draws are uncorrelated.
+            masker.rng = np.random.default_rng([base_seed, worker_id, step])
+            model.rng.bit_generator.state = np.random.default_rng(
+                [base_seed, worker_id, step, 1]).bit_generator.state
+            losses = compute_stage2_losses(model, masker, rows, triples)
+            losses.total.backward()
+            grads = _flatten([param.grad if param.grad is not None
+                              else np.zeros_like(param.data)
+                              for param in params])
+            conn.send(("ok", step, grads,
+                       {"total": losses.value, "mask": losses.mask,
+                        "ke": losses.ke,
+                        "numeric_regression": losses.numeric_regression},
+                       losses.tokens))
+        except Exception:  # surfaced to the parent as WorkerPoolError
+            conn.send(("err", step, traceback.format_exc()))
+
+
+@dataclass
+class _WorkerHandle:
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    worker_id: int
+
+
+class GradientWorkerPool:
+    """N forked replicas computing sharded forward/backward passes.
+
+    The parent broadcasts the flattened parameter vector and a shard of the
+    step's batches to each worker; workers reply with flattened gradients
+    which the parent combines as a shard-size-weighted mean — equivalent in
+    expectation to the serial gradient of the full batch.  ``fork`` start
+    method only (replicas inherit the model without pickling); callers fall
+    back to the serial path when fork is unavailable or startup fails.
+    """
+
+    def __init__(self, model, num_workers: int, base_seed: int,
+                 straggler_timeout_s: float = 120.0):
+        if num_workers < 2:
+            raise ValueError("a worker pool needs at least 2 workers")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise WorkerPoolError("fork start method unavailable")
+        self._params = model.parameters()
+        self.num_workers = num_workers
+        self.straggler_timeout_s = straggler_timeout_s
+        context = multiprocessing.get_context("fork")
+        self._workers: list[_WorkerHandle] = []
+        try:
+            for worker_id in range(num_workers):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, model, model.config.masking_rate,
+                          base_seed, worker_id),
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                self._workers.append(_WorkerHandle(process, parent_conn,
+                                                   worker_id))
+        except Exception as error:
+            self.close()
+            raise WorkerPoolError(f"worker startup failed: {error}") from error
+
+    @staticmethod
+    def _shard(items: list | None, count: int) -> list[list]:
+        if not items:
+            return [[] for _ in range(count)]
+        bounds = np.linspace(0, len(items), count + 1).astype(int)
+        return [items[bounds[i]:bounds[i + 1]] for i in range(count)]
+
+    def step(self, step_index: int, rows: list | None,
+             triples: list | None) -> tuple[list[np.ndarray], StepLosses]:
+        """One data-parallel forward/backward; returns (grads, losses).
+
+        Raises :class:`WorkerPoolError` on worker failure or straggler
+        timeout; the caller is expected to fall back to the serial path.
+        """
+        flat_params = _flatten([p.data for p in self._params])
+        row_shards = self._shard(rows, self.num_workers)
+        triple_shards = self._shard(triples, self.num_workers)
+        active: list[tuple[_WorkerHandle, int]] = []
+        for handle, row_shard, triple_shard in zip(self._workers, row_shards,
+                                                   triple_shards):
+            weight = len(row_shard) + len(triple_shard)
+            if weight == 0:
+                continue
+            try:
+                handle.conn.send(("step", step_index, flat_params,
+                                  row_shard, triple_shard))
+            except (OSError, ValueError) as error:
+                raise WorkerPoolError(
+                    f"worker {handle.worker_id} unreachable: "
+                    f"{error}") from error
+            active.append((handle, weight))
+        if not active:
+            raise WorkerPoolError("no worker received a non-empty shard")
+
+        total_weight = float(sum(w for _, w in active))
+        deadline = time.monotonic() + self.straggler_timeout_s
+        grads_sum: np.ndarray | None = None
+        losses = {"total": 0.0, "mask": 0.0, "ke": 0.0,
+                  "numeric_regression": 0.0}
+        tokens = 0
+        for handle, weight in active:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not handle.conn.poll(remaining):
+                raise WorkerPoolError(
+                    f"straggler: worker {handle.worker_id} exceeded "
+                    f"{self.straggler_timeout_s:.1f}s")
+            reply = handle.conn.recv()
+            if reply[0] != "ok":
+                raise WorkerPoolError(
+                    f"worker {handle.worker_id} failed at step "
+                    f"{step_index}:\n{reply[2]}")
+            _, _, grads, parts, shard_tokens = reply
+            share = weight / total_weight
+            grads_sum = (grads * share if grads_sum is None
+                         else grads_sum + grads * share)
+            for key in losses:
+                losses[key] += parts[key] * share
+            tokens += shard_tokens
+        step_losses = StepLosses(total=Tensor(losses["total"]),
+                                 mask=losses["mask"], ke=losses["ke"],
+                                 numeric_regression=losses[
+                                     "numeric_regression"],
+                                 tokens=tokens)
+        return _split_flat(grads_sum, self._params), step_losses
+
+    def close(self) -> None:
+        """Stop and join every worker (terminating unresponsive ones)."""
+        for handle in self._workers:
+            try:
+                handle.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for handle in self._workers:
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            handle.conn.close()
+        self._workers = []
+
+    def __enter__(self) -> "GradientWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# The runtime
+# ----------------------------------------------------------------------
+@dataclass
+class RuntimeConfig:
+    """Knobs of the fault-tolerant runtime."""
+
+    run_dir: str | Path
+    workers: int = 1
+    checkpoint_every_steps: int = 50
+    checkpoint_every_s: float | None = None
+    keep_last: int = 3
+    straggler_timeout_s: float = 120.0
+    handle_signals: bool = True
+    extra: dict = field(default_factory=dict)  # recorded in every snapshot
+
+
+class TrainingRuntime:
+    """Runs a retrainer with checkpoint/resume, workers, and a journal."""
+
+    def __init__(self, retrainer: KTeleBertRetrainer, config: RuntimeConfig):
+        self.retrainer = retrainer
+        self.config = config
+        self.run_dir = Path(config.run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.journal = RunJournal(self.run_dir / JOURNAL_NAME)
+        self.snapshots = SnapshotStore(self.run_dir / SNAPSHOT_DIR,
+                                       keep_last=config.keep_last)
+        self._pool: GradientWorkerPool | None = None
+        self._parallel_disabled = False
+        self._stop_signal: int | None = None
+        self._last_checkpoint_time = time.monotonic()
+        self.interrupted = False
+
+    # -- resume --------------------------------------------------------
+    def resume_if_available(self) -> int | None:
+        """Restore the latest snapshot if one exists; returns its step."""
+        state = self.snapshots.load_latest()
+        if state is None:
+            return None
+        state.apply(self.retrainer.model, self.retrainer.optimizer)
+        self.retrainer.load_state_dict(state.trainer_state)
+        self.journal.append("resume", step=state.step, loss=state.loss)
+        return state.step
+
+    # -- checkpointing -------------------------------------------------
+    def checkpoint(self, reason: str = "cadence") -> Path:
+        """Write a snapshot of the current training state."""
+        retrainer = self.retrainer
+        step = retrainer.step_index
+        loss = retrainer.log.total[-1] if retrainer.log.total else float("inf")
+        tasks = (sorted(retrainer.strategy.tasks_at(step))
+                 if step < retrainer.strategy.total_steps else [])
+        path = self.snapshots.save(
+            retrainer.model, retrainer.optimizer, retrainer.state_dict(),
+            step=step, loss=loss,
+            extra={"reason": reason, "mtl_phase": tasks,
+                   "workers": self.config.workers, **self.config.extra})
+        self._last_checkpoint_time = time.monotonic()
+        self.journal.append("checkpoint", step=step, loss=loss,
+                            path=path.name, reason=reason)
+        return path
+
+    def _checkpoint_due(self) -> bool:
+        step = self.retrainer.step_index
+        every = self.config.checkpoint_every_steps
+        if every and step % every == 0:
+            return True
+        cadence_s = self.config.checkpoint_every_s
+        return bool(
+            cadence_s
+            and time.monotonic() - self._last_checkpoint_time >= cadence_s)
+
+    # -- signals -------------------------------------------------------
+    def _install_signals(self) -> dict:
+        if not self.config.handle_signals:
+            return {}
+        previous = {}
+
+        def _request_stop(signum, frame):
+            self._stop_signal = signum
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, _request_stop)
+            except ValueError:  # not in the main thread
+                break
+        return previous
+
+    @staticmethod
+    def _restore_signals(previous: dict) -> None:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    # -- stepping ------------------------------------------------------
+    def _ensure_pool(self) -> GradientWorkerPool | None:
+        if self.config.workers < 2 or self._parallel_disabled:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = GradientWorkerPool(
+                    self.retrainer.model, self.config.workers,
+                    base_seed=self.retrainer.seed,
+                    straggler_timeout_s=self.config.straggler_timeout_s)
+            except WorkerPoolError as error:
+                self._degrade(f"pool startup failed: {error}")
+        return self._pool
+
+    def _degrade(self, reason: str) -> None:
+        self._parallel_disabled = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self.journal.append("fallback_serial", reason=reason,
+                            step=self.retrainer.step_index)
+
+    def train_step(self) -> StepLosses:
+        """One runtime step: parallel when possible, serial otherwise."""
+        retrainer = self.retrainer
+        pool = self._ensure_pool()
+        if pool is None:
+            tasks = retrainer.advance()
+            rows, triples = retrainer.draw_batches(tasks)
+            retrainer.optimizer.zero_grad()
+            losses = retrainer.compute_losses(rows, triples)
+            losses.total.backward()
+            retrainer.finish_step(losses)
+            return losses
+
+        tasks = retrainer.advance()
+        rows, triples = retrainer.draw_batches(tasks)
+        step_index = retrainer.step_index - 1
+        try:
+            grads, losses = pool.step(step_index, rows, triples)
+        except WorkerPoolError as error:
+            self._degrade(str(error))
+            retrainer.optimizer.zero_grad()
+            losses = retrainer.compute_losses(rows, triples)
+            losses.total.backward()
+            retrainer.finish_step(losses)
+            return losses
+        retrainer.optimizer.zero_grad()
+        for param, grad in zip(retrainer.optimizer.parameters, grads):
+            param.grad = grad.copy()
+        retrainer.finish_step(losses)
+        return losses
+
+    # -- the loop ------------------------------------------------------
+    def run(self, max_steps: int | None = None) -> RetrainingLog:
+        """Train until the schedule ends, ``max_steps`` pass, or a signal.
+
+        Returns the loss log; ``self.interrupted`` tells apart a clean
+        completion from a signal-triggered stop (which leaves behind a
+        final checkpoint and an ``interrupted`` journal event).
+        """
+        retrainer = self.retrainer
+        retrainer.model.train()
+        total_steps = retrainer.strategy.total_steps
+        resumed_from = retrainer.step_index if retrainer.step_index else None
+        self.journal.append("run_start", step=retrainer.step_index,
+                            total_steps=total_steps,
+                            workers=self.config.workers,
+                            resumed_from=resumed_from)
+        previous_handlers = self._install_signals()
+        self.interrupted = False
+        steps_done = 0
+        self._last_checkpoint_time = time.monotonic()
+        try:
+            while retrainer.step_index < total_steps:
+                if max_steps is not None and steps_done >= max_steps:
+                    break
+                if self._stop_signal is not None:
+                    self.interrupted = True
+                    self.checkpoint(reason=f"signal {self._stop_signal}")
+                    self.journal.append("interrupted",
+                                        step=retrainer.step_index,
+                                        signal=self._stop_signal)
+                    break
+                start = time.perf_counter()
+                losses = self.train_step()
+                wall = time.perf_counter() - start
+                steps_done += 1
+                self.journal.append(
+                    "step", step=retrainer.step_index, loss=losses.value,
+                    mask=losses.mask, ke=losses.ke,
+                    numeric_regression=losses.numeric_regression,
+                    tokens=losses.tokens,
+                    tokens_per_sec=losses.tokens / wall if wall > 0 else 0.0,
+                    wall_s=wall)
+                if self._checkpoint_due():
+                    self.checkpoint()
+            else:
+                self.checkpoint(reason="final")
+                self.journal.append("run_complete",
+                                    step=retrainer.step_index)
+        finally:
+            self._restore_signals(previous_handlers)
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+        return retrainer.log

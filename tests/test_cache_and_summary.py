@@ -1,7 +1,6 @@
 """Tests for the caching provider and the model-summary helper."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.service import CachedProvider, RandomProvider, WordEmbeddingProvider

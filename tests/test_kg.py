@@ -8,7 +8,6 @@ from repro.kg import (
     Pattern,
     TeleKG,
     TeleSchema,
-    Triple,
     Variable,
     build_tele_kg,
     query,

@@ -10,7 +10,6 @@ from repro.models import (
     KTeleBertConfig,
     NumericRow,
     TeleBertTrainer,
-    TextRow,
     TripleRow,
 )
 from repro.tokenization import mine_special_tokens, basic_tokenize

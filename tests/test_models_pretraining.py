@@ -12,7 +12,7 @@ from repro.models import (
 )
 from repro.models.ke import transe_distance
 from repro.tensor import Tensor
-from repro.tokenization import Vocab, WholeWordSegmenter, WordTokenizer
+from repro.tokenization import WholeWordSegmenter, WordTokenizer
 from repro.training import BatchIterator, DynamicMasker, build_strategy
 from repro.training.masking import IGNORE_INDEX
 from repro.training.mtl import TASK_KE, TASK_MASK

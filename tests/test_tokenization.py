@@ -1,6 +1,5 @@
 """Tests for vocabulary, BPE, tokenizer, and whole-word segmentation."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -14,7 +13,7 @@ from repro.tokenization import (
     learn_bpe,
     mine_special_tokens,
 )
-from repro.tokenization.vocab import CLS, MASK, PAD, SEP, UNK
+from repro.tokenization.vocab import CLS, SEP
 
 
 class TestVocab:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.corpus import build_tele_corpus
 from repro.kg import build_tele_kg
-from repro.models import KTeleBert, KTeleBertConfig, TeleBertTrainer, TextRow
+from repro.models import KTeleBert, KTeleBertConfig, TeleBertTrainer
 from repro.tensor import functional as F, Tensor
 from repro.tokenization import Vocab, WordTokenizer
 from repro.training import DynamicMasker, build_strategy

@@ -1,0 +1,462 @@
+"""Tests for the fault-tolerant training runtime.
+
+Covers the three runtime pillars end to end: atomic snapshots with
+retention, bit-exact kill-and-resume (serial and data-parallel), and the
+JSONL run journal (including its replay into serving metrics), plus the
+optimizer state round-trips the snapshots depend on.
+"""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.corpus import build_tele_corpus
+from repro.kg import build_tele_kg
+from repro.models import (
+    KTeleBert,
+    KTeleBertConfig,
+    TeleBertTrainer,
+    atomic_write_bytes,
+    model_fingerprint,
+)
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, AdamW, LinearWarmupSchedule
+from repro.serving import replay_journal
+from repro.training import build_strategy
+from repro.training.retrainer import KTeleBertRetrainer
+from repro.training.runtime import (
+    GradientWorkerPool,
+    RunJournal,
+    RuntimeConfig,
+    SnapshotStore,
+    TrainingRuntime,
+    WorkerPoolError,
+)
+from repro.training.stage2 import build_stage2_data
+from repro.world import TelecomWorld
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+# ----------------------------------------------------------------------
+# Shared fixture: a deterministic factory for identically-built loops
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def stack():
+    """The stage-1 artifacts every retrainer in this module is built from."""
+    world = TelecomWorld.generate(seed=61, alarms_per_theme=2,
+                                  kpis_per_theme=2, topology_nodes=6)
+    corpus = build_tele_corpus(world, seed=61)
+    kg = build_tele_kg(world)
+    episodes = world.simulate_episodes(3)
+    trainer = TeleBertTrainer(corpus.sentences, seed=61, d_model=16,
+                              num_layers=1, num_heads=2, d_ff=32, max_len=20)
+    trainer.train(steps=2)
+    data = build_stage2_data(corpus, episodes, kg, seed=61, ke_negatives=2)
+    return trainer, data
+
+
+def make_retrainer(stack, total_steps=6, strategy="pmtl"):
+    """Build a fresh, identically-initialised stage-2 loop every call."""
+    trainer, data = stack
+    model = KTeleBert.from_telebert(
+        trainer, KTeleBertConfig(anenc_layers=1, anenc_meta=2, lora_rank=2),
+        tag_names=data.tag_names, normalizer=data.normalizer,
+        extra_vocabulary=data.vocabulary(), seed=61)
+    return KTeleBertRetrainer(model, data, build_strategy(strategy,
+                                                          total_steps),
+                              seed=7, batch_size=4, ke_batch_size=2)
+
+
+# ----------------------------------------------------------------------
+# Atomic writes
+# ----------------------------------------------------------------------
+class TestAtomicWrite:
+    def test_write_and_overwrite(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"first")
+        assert target.read_bytes() == b"first"
+        atomic_write_bytes(target, b"second")
+        assert target.read_bytes() == b"second"
+
+    def test_creates_missing_parent(self, tmp_path):
+        target = tmp_path / "a" / "b" / "blob.bin"
+        atomic_write_bytes(target, b"x")
+        assert target.read_bytes() == b"x"
+
+    def test_no_temp_residue(self, tmp_path):
+        atomic_write_bytes(tmp_path / "blob.bin", b"payload")
+        assert os.listdir(tmp_path) == ["blob.bin"]
+
+    def test_failure_leaves_previous_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"stable")
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.models.checkpoint.os.replace",
+                            broken_replace)
+        with pytest.raises(OSError):
+            atomic_write_bytes(target, b"torn")
+        monkeypatch.undo()
+        assert target.read_bytes() == b"stable"
+        assert os.listdir(tmp_path) == ["blob.bin"]
+
+
+# ----------------------------------------------------------------------
+# Optimizer state round-trips
+# ----------------------------------------------------------------------
+def _make_params(seed=0):
+    rng = np.random.default_rng(seed)
+    return [Parameter(rng.normal(size=(3, 2))), Parameter(rng.normal(size=4))]
+
+
+def _deterministic_steps(optimizer, params, steps, seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        for param in params:
+            param.grad = rng.normal(size=param.data.shape)
+        optimizer.step()
+
+
+class TestOptimizerState:
+    @pytest.mark.parametrize("factory", [
+        lambda params: Adam(params, lr=0.01, weight_decay=0.01),
+        lambda params: AdamW(params, lr=0.01, weight_decay=0.01),
+        lambda params: SGD(params, lr=0.01, momentum=0.9),
+    ])
+    def test_round_trip_is_bit_exact(self, factory):
+        params_a = _make_params()
+        optim_a = factory(params_a)
+        _deterministic_steps(optim_a, params_a, 3, seed=5)
+        state = optim_a.state_dict()
+        frozen = [param.data.copy() for param in params_a]
+
+        params_b = [Parameter(data.copy()) for data in frozen]
+        optim_b = factory(params_b)
+        optim_b.load_state_dict(state)
+        _deterministic_steps(optim_a, params_a, 2, seed=6)
+        _deterministic_steps(optim_b, params_b, 2, seed=6)
+        for left, right in zip(params_a, params_b):
+            assert np.array_equal(left.data, right.data)
+
+    def test_adam_scalars_and_step_counter_restored(self):
+        params = _make_params()
+        optim = Adam(params, lr=0.01, betas=(0.8, 0.99), eps=1e-6,
+                     weight_decay=0.1)
+        _deterministic_steps(optim, params, 4, seed=1)
+        restored = Adam(_make_params(), lr=0.5)
+        restored.load_state_dict(optim.state_dict())
+        assert restored.lr == 0.01
+        assert restored.betas == (0.8, 0.99)
+        assert restored.eps == 1e-6
+        assert restored.weight_decay == 0.1
+        assert restored._t == 4
+
+    def test_kind_mismatch_rejected(self):
+        adam_state = Adam(_make_params(), lr=0.01).state_dict()
+        with pytest.raises(ValueError, match="adam"):
+            SGD(_make_params(), lr=0.01).load_state_dict(adam_state)
+
+    def test_adamw_state_is_not_adam_state(self):
+        adamw_state = AdamW(_make_params(), lr=0.01).state_dict()
+        assert adamw_state["kind"] == "adamw"
+        with pytest.raises(ValueError):
+            Adam(_make_params(), lr=0.01).load_state_dict(adamw_state)
+
+    def test_shape_mismatch_rejected(self):
+        state = Adam(_make_params(), lr=0.01).state_dict()
+        other = [Parameter(np.zeros((5, 5))), Parameter(np.zeros(4))]
+        with pytest.raises(ValueError, match="shape"):
+            Adam(other, lr=0.01).load_state_dict(state)
+
+    def test_missing_moment_rejected(self):
+        state = Adam(_make_params(), lr=0.01).state_dict()
+        del state["arrays"]["v/1"]
+        with pytest.raises(ValueError, match="v/1"):
+            Adam(_make_params(), lr=0.01).load_state_dict(state)
+
+    def test_schedule_round_trip(self):
+        params = _make_params()
+        schedule = LinearWarmupSchedule(Adam(params, lr=0.0), peak_lr=0.1,
+                                        warmup_steps=4, total_steps=10)
+        for _ in range(6):
+            schedule.step()
+        clone = LinearWarmupSchedule(Adam(_make_params(), lr=0.0),
+                                     peak_lr=1.0, warmup_steps=1,
+                                     total_steps=2)
+        clone.load_state_dict(schedule.state_dict())
+        assert [clone.step() for _ in range(3)] == \
+            [schedule.step() for _ in range(3)]
+
+
+# ----------------------------------------------------------------------
+# Run journal
+# ----------------------------------------------------------------------
+class TestRunJournal:
+    def test_append_and_read_back(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.append("run_start", step=0)
+        journal.append("step", step=1, loss=2.5)
+        events = journal.events()
+        assert [e["kind"] for e in events] == ["run_start", "step"]
+        assert events[1]["loss"] == 2.5
+        assert all("time" in e for e in events)
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.append("step", step=1)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "step", "ste')  # crash mid-write
+        assert [e["kind"] for e in journal.events()] == ["step"]
+
+    def test_interrupted_detection(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        assert not journal.is_interrupted()  # no journal at all
+        journal.append("run_start", step=0)
+        journal.append("step", step=1)
+        assert journal.is_interrupted()
+        journal.append("run_complete", step=1)
+        assert not journal.is_interrupted()
+
+
+# ----------------------------------------------------------------------
+# Snapshot store retention
+# ----------------------------------------------------------------------
+class TestSnapshotStore:
+    def test_keep_last_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            SnapshotStore(tmp_path, keep_last=0)
+
+    def test_retention_keeps_recent_and_best(self, stack, tmp_path):
+        retrainer = make_retrainer(stack)
+        store = SnapshotStore(tmp_path / "snaps", keep_last=2)
+        losses = {1: 5.0, 2: 1.0, 3: 3.0, 4: 2.0}
+        for step, loss in losses.items():
+            store.save(retrainer.model, retrainer.optimizer,
+                       retrainer.state_dict(), step=step, loss=loss)
+        kept = {path.name for path in store.directory.glob("step-*.npz")}
+        # Newest two (3, 4) plus the best-loss snapshot (2); 1 is pruned.
+        assert kept == {"step-00000002.npz", "step-00000003.npz",
+                        "step-00000004.npz"}
+        assert set(store.index()) == kept
+        assert store.latest().name == "step-00000004.npz"
+        assert store.best().name == "step-00000002.npz"
+
+    def test_load_latest_round_trips_metadata(self, stack, tmp_path):
+        retrainer = make_retrainer(stack)
+        store = SnapshotStore(tmp_path / "snaps", keep_last=3)
+        store.save(retrainer.model, retrainer.optimizer,
+                   retrainer.state_dict(), step=7, loss=1.25,
+                   extra={"reason": "test"})
+        state = store.load_latest()
+        assert state.step == 7
+        assert state.loss == 1.25
+        assert state.extra["reason"] == "test"
+        assert state.trainer_state["step"] == retrainer.step_index
+
+    def test_empty_store(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snaps")
+        assert store.latest() is None
+        assert store.best() is None
+        assert store.load_latest() is None
+
+    def test_index_survives_deletion(self, stack, tmp_path):
+        """A missing index falls back to scanning the snapshot files."""
+        retrainer = make_retrainer(stack)
+        store = SnapshotStore(tmp_path / "snaps", keep_last=2)
+        store.save(retrainer.model, retrainer.optimizer,
+                   retrainer.state_dict(), step=3, loss=2.0)
+        store._index_path.unlink()
+        assert store.latest().name == "step-00000003.npz"
+
+
+# ----------------------------------------------------------------------
+# Retrainer loop-state validation
+# ----------------------------------------------------------------------
+class TestRetrainerState:
+    def test_strategy_mismatch_rejected(self, stack):
+        source = make_retrainer(stack, total_steps=6, strategy="pmtl")
+        target = make_retrainer(stack, total_steps=8, strategy="pmtl")
+        with pytest.raises(ValueError, match="strategy"):
+            target.load_state_dict(source.state_dict())
+
+    def test_state_is_json_serialisable(self, stack):
+        retrainer = make_retrainer(stack)
+        retrainer.train_step()
+        json.dumps(retrainer.state_dict())
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume: the bit-exact continuation guarantee
+# ----------------------------------------------------------------------
+def _run_to_completion(stack, run_dir, workers=1, total_steps=6):
+    retrainer = make_retrainer(stack, total_steps=total_steps)
+    runtime = TrainingRuntime(retrainer, RuntimeConfig(
+        run_dir=run_dir, workers=workers, checkpoint_every_steps=2,
+        handle_signals=False))
+    runtime.run()
+    return retrainer, runtime
+
+
+@pytest.mark.slow
+class TestKillAndResume:
+    def test_serial_resume_is_bit_exact(self, stack, tmp_path):
+        # Reference: one uninterrupted run.
+        reference, _ = _run_to_completion(stack, tmp_path / "ref")
+
+        # Interrupted run: stop after 3 of 6 steps (cadence checkpoints at
+        # steps 2 — the step-3 progress since then is intentionally lost).
+        first = make_retrainer(stack)
+        runtime = TrainingRuntime(first, RuntimeConfig(
+            run_dir=tmp_path / "run", workers=1, checkpoint_every_steps=2,
+            handle_signals=False))
+        runtime.run(max_steps=3)
+        assert runtime.journal.is_interrupted()
+
+        # Resume in a brand-new process stand-in: a fresh, identically
+        # built loop restored from the latest snapshot.
+        second = make_retrainer(stack)
+        resumed = TrainingRuntime(second, RuntimeConfig(
+            run_dir=tmp_path / "run", workers=1, checkpoint_every_steps=2,
+            handle_signals=False))
+        resumed_step = resumed.resume_if_available()
+        assert resumed_step == 2
+        resumed.run()
+
+        assert second.log.total == reference.log.total
+        assert second.log.mask == reference.log.mask
+        assert second.log.ke == reference.log.ke
+        assert model_fingerprint(second.model) == \
+            model_fingerprint(reference.model)
+        assert not resumed.journal.is_interrupted()
+
+    def test_resume_without_snapshot_is_noop(self, stack, tmp_path):
+        retrainer = make_retrainer(stack)
+        runtime = TrainingRuntime(retrainer, RuntimeConfig(
+            run_dir=tmp_path / "fresh", handle_signals=False))
+        assert runtime.resume_if_available() is None
+        assert retrainer.step_index == 0
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_parallel_resume_matches_uninterrupted_parallel(self, stack,
+                                                            tmp_path):
+        reference, ref_runtime = _run_to_completion(stack, tmp_path / "ref",
+                                                    workers=2)
+        kinds = [e["kind"] for e in ref_runtime.journal.events()]
+        assert "fallback_serial" not in kinds
+
+        first = make_retrainer(stack)
+        runtime = TrainingRuntime(first, RuntimeConfig(
+            run_dir=tmp_path / "run", workers=2, checkpoint_every_steps=2,
+            handle_signals=False))
+        runtime.run(max_steps=2)
+
+        second = make_retrainer(stack)
+        resumed = TrainingRuntime(second, RuntimeConfig(
+            run_dir=tmp_path / "run", workers=2, checkpoint_every_steps=2,
+            handle_signals=False))
+        assert resumed.resume_if_available() == 2
+        resumed.run()
+
+        assert second.log.total == reference.log.total
+        assert model_fingerprint(second.model) == \
+            model_fingerprint(reference.model)
+
+    def test_journal_records_lifecycle(self, stack, tmp_path):
+        _, runtime = _run_to_completion(stack, tmp_path / "run")
+        kinds = [e["kind"] for e in runtime.journal.events()]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_complete"
+        steps = [e for e in runtime.journal.events() if e["kind"] == "step"]
+        assert len(steps) == 6
+        assert all(np.isfinite(e["loss"]) for e in steps)
+        assert all(e["wall_s"] > 0 for e in steps)
+
+
+# ----------------------------------------------------------------------
+# Worker pool failure modes
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_pool_needs_two_workers(self, stack):
+        retrainer = make_retrainer(stack)
+        with pytest.raises(ValueError):
+            GradientWorkerPool(retrainer.model, num_workers=1, base_seed=0)
+
+    def test_startup_failure_degrades_to_serial(self, stack, tmp_path,
+                                                monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise WorkerPoolError("injected startup failure")
+
+        monkeypatch.setattr("repro.training.runtime.GradientWorkerPool",
+                            broken_pool)
+        retrainer = make_retrainer(stack, total_steps=2)
+        runtime = TrainingRuntime(retrainer, RuntimeConfig(
+            run_dir=tmp_path / "run", workers=4, handle_signals=False))
+        log = runtime.run()
+        assert len(log.total) == 2
+        assert all(np.isfinite(v) for v in log.total)
+        kinds = [e["kind"] for e in runtime.journal.events()]
+        assert "fallback_serial" in kinds
+        assert kinds[-1] == "run_complete"
+
+    @pytest.mark.slow
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_straggler_timeout_degrades_to_serial(self, stack, tmp_path):
+        retrainer = make_retrainer(stack, total_steps=2)
+        runtime = TrainingRuntime(retrainer, RuntimeConfig(
+            run_dir=tmp_path / "run", workers=2, straggler_timeout_s=0.0,
+            handle_signals=False))
+        log = runtime.run()
+        assert len(log.total) == 2
+        events = runtime.journal.events()
+        fallbacks = [e for e in events if e["kind"] == "fallback_serial"]
+        assert fallbacks and "straggler" in fallbacks[0]["reason"]
+
+
+# ----------------------------------------------------------------------
+# Journal replay into serving metrics
+# ----------------------------------------------------------------------
+class TestReplayJournal:
+    def test_replay_folds_steps_into_instruments(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.append("run_start", step=0, workers=1)
+        journal.append("step", step=1, loss=4.0, tokens=100,
+                       tokens_per_sec=50.0, wall_s=2.0)
+        journal.append("step", step=2, loss=2.0, tokens=60,
+                       tokens_per_sec=30.0, wall_s=2.0)
+        journal.append("run_complete", step=2)
+        registry = replay_journal(journal.path)
+        snap = registry.snapshot()
+        assert snap["counters"]["train.steps"] == 2
+        assert snap["counters"]["train.tokens"] == 160
+        assert snap["counters"]["train.events.run_start"] == 1
+        assert snap["counters"]["train.events.run_complete"] == 1
+        assert snap["gauges"]["train.step"] == 2
+        assert snap["histograms"]["train.loss"]["mean"] == 3.0
+        assert [e["kind"] for e in registry.events] == \
+            ["run_start", "run_complete"]
+
+    def test_replay_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"kind": "step", "step": 1, "loss": 1.0}\n'
+                        '{"kind": "st\n')
+        registry = replay_journal(path)
+        assert registry.snapshot()["counters"]["train.steps"] == 1
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        registry = replay_journal(tmp_path / "absent.jsonl")
+        assert registry.snapshot()["counters"] == {}
+
+    def test_replay_end_to_end_from_real_run(self, stack, tmp_path):
+        _, runtime = _run_to_completion(stack, tmp_path / "run",
+                                        total_steps=2)
+        registry = replay_journal(runtime.journal.path)
+        snap = registry.snapshot()
+        assert snap["counters"]["train.steps"] == 2
+        assert snap["counters"]["train.tokens"] > 0
+        assert snap["histograms"]["train.tokens_per_sec"]["mean"] > 0

@@ -22,7 +22,7 @@ try:
 except ImportError:  # running from a checkout without an installed package
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.diagnostics import case_names, run_sweep
+from repro.diagnostics import case_names, run_sweep  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
