@@ -163,7 +163,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServiceConfig(max_batch_size=args.max_batch_size,
                            max_wait_ms=args.max_wait_ms,
                            timeout_s=args.timeout,
-                           max_retries=args.retries)
+                           max_retries=args.retries,
+                           backoff_s=args.backoff,
+                           flush_timeout_s=args.flush_timeout,
+                           close_timeout_s=args.close_timeout)
     metrics = MetricsRegistry()
     with FaultAnalysisService(provider, fallback=fallback, config=config,
                               metrics=metrics, store_dir=args.store,
@@ -366,8 +369,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch-size", type=int, default=32)
     serve.add_argument("--max-wait-ms", type=float, default=5.0)
     serve.add_argument("--timeout", type=float, default=30.0,
-                       help="per-call timeout in seconds")
+                       help="per-attempt deadline in seconds (the total "
+                            "request budget is timeout x (retries + 1) "
+                            "plus backoff)")
     serve.add_argument("--retries", type=int, default=2)
+    serve.add_argument("--backoff", type=float, default=0.05,
+                       help="first-retry backoff in seconds; doubles per "
+                            "attempt")
+    serve.add_argument("--flush-timeout", type=float, default=None,
+                       help="watchdog bound on one encoder flush inside "
+                            "the micro-batcher (seconds; defaults to "
+                            "--timeout)")
+    serve.add_argument("--close-timeout", type=float, default=5.0,
+                       help="upper bound on shutdown: a hung encoder "
+                            "cannot hold process exit hostage longer "
+                            "than this")
     serve.add_argument("--fallback", action="store_true",
                        help="degrade to a word-embedding provider when the "
                             "primary is exhausted")

@@ -31,19 +31,28 @@ class CachedProvider(EmbeddingProvider):
         self.misses = 0
 
     def encode_names(self, names: list[str]) -> np.ndarray:
-        # The lock spans the inner encode as well: two threads missing on
-        # the same name must not both pay for (and race to write) it.
+        """Cached encode.  The lock is never held across the inner call:
+        a slow (or hung) encoder cannot block ``stats``/``clear``, the
+        encoding of already-cached names, or an independent retry of the
+        same name.  Concurrent cold misses on one name may therefore both
+        pay for the encode; the write-back is last-write-wins, so the
+        cache stays internally consistent (one settled vector per name)
+        and every caller sees a coherent snapshot within its own request.
+        Liveness over strict dedup: the old exclusive-miss lock turned a
+        single hung encode into a stack-wide deadlock."""
         with self._lock:
-            missing = [n for n in names if n not in self._cache]
-            # Deduplicate while preserving order for the inner call.
-            unique_missing = list(dict.fromkeys(missing))
-            if unique_missing:
-                vectors = self.inner.encode_names(unique_missing)
-                for name, vector in zip(unique_missing, vectors):
-                    self._cache[name] = vector
-            self.misses += len(unique_missing)
-            self.hits += len(names) - len(unique_missing)
-            return np.stack([self._cache[n] for n in names])
+            results = {n: self._cache[n] for n in names if n in self._cache}
+        missing = [n for n in dict.fromkeys(names) if n not in results]
+        if missing:
+            vectors = self.inner.encode_names(missing)
+            for name, vector in zip(missing, vectors):
+                results[name] = vector
+        with self._lock:
+            for name in missing:
+                self._cache[name] = results[name]
+            self.misses += len(missing)
+            self.hits += len(names) - len(missing)
+            return np.stack([results[n] for n in names])
 
     def clear(self) -> None:
         """Drop the cache (e.g. after further training of the inner model).

@@ -5,14 +5,21 @@ inference service, the deployment shape the paper's "service embeddings"
 imply (Sec. V-A3) and that industrial tele-PLM systems build around:
 
 * :class:`MicroBatcher` — dynamic micro-batching with cross-request
-  deduplication (flush on size or deadline);
+  deduplication (flush on size or deadline), deadline-aware waits, and a
+  flush watchdog that bounds provider calls;
 * :class:`EmbeddingStore` / :class:`PersistentProvider` — append-only
   on-disk embedding cache keyed by checkpoint fingerprint, with an LRU
   memory tier and versioned invalidation;
 * :class:`FaultAnalysisService` — one façade exposing ``embed`` plus the
   three fault-analysis calls (``rank_root_causes`` / ``propagate_alarms``
-  / ``classify_fault``) with per-call timeout, bounded retry with backoff,
-  and graceful degradation to a fallback provider;
+  / ``classify_fault``) with per-request deadlines, bounded retry with
+  backoff, and graceful degradation to a fallback provider;
+* :class:`Deadline` / :class:`CancellationToken` — the propagated budget
+  and cooperative-stop primitives that keep a hung encoder from wedging
+  the stack (typed failures: :class:`DeadlineExceeded`,
+  :class:`FlushTimeout`);
+* :class:`CancellableWorkerPool` — the façade's daemon-thread retry pool
+  with hung-thread accounting and bounded replacement;
 * :class:`MetricsRegistry` — counters, gauges, latency histograms with
   p50/p95/p99, and structured event logging;
 * :func:`serve_loop` — the stdin/stdout JSON-lines transport behind
@@ -20,6 +27,13 @@ imply (Sec. V-A3) and that industrial tele-PLM systems build around:
 """
 
 from repro.serving.batcher import MicroBatcher
+from repro.serving.deadline import (
+    CancellationToken,
+    CancelledError,
+    Deadline,
+    DeadlineExceeded,
+    FlushTimeout,
+)
 from repro.serving.metrics import (
     Counter,
     Gauge,
@@ -28,6 +42,7 @@ from repro.serving.metrics import (
     merge_hit_stats,
     replay_journal,
 )
+from repro.serving.pool import CancellableWorkerPool
 from repro.serving.server import handle_request, serve_loop
 from repro.serving.service import (
     FaultAnalysisService,
@@ -37,9 +52,15 @@ from repro.serving.service import (
 from repro.serving.store import EmbeddingStore, PersistentProvider
 
 __all__ = [
+    "CancellableWorkerPool",
+    "CancellationToken",
+    "CancelledError",
     "Counter",
+    "Deadline",
+    "DeadlineExceeded",
     "EmbeddingStore",
     "FaultAnalysisService",
+    "FlushTimeout",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

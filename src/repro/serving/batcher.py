@@ -13,6 +13,24 @@ inference servers.
 Names are deduplicated **across requests**: if four threads concurrently
 ask for ``"link failure"``, the provider sees it once and all four callers
 share the resulting vector.
+
+Two mechanisms keep a hung or slow provider from wedging the batcher:
+
+* **Deadline-aware waits** — :meth:`encode` accepts a
+  :class:`~repro.serving.deadline.Deadline`; a caller whose budget runs
+  out deregisters from its pending entries (counted in
+  ``serving.abandoned_waits``) and raises
+  :class:`~repro.serving.deadline.DeadlineExceeded`.  Entries with no
+  remaining waiters leave the queue, so they neither hold the flush
+  deadline open nor ride a future batch nobody wants.
+* **Flush watchdog** — each provider flush runs on a disposable daemon
+  thread bounded by ``flush_timeout_s``; a flush that blows the bound is
+  abandoned, its entries fail with a typed
+  :class:`~repro.serving.deadline.FlushTimeout` (waking every waiter so
+  retry/fallback policy can engage), and the worker moves on to the next
+  batch.  Hung flush threads are tracked in the
+  ``serving.batcher.hung_flush_threads`` gauge; if one eventually
+  returns, the gauge comes back down and its late result is discarded.
 """
 
 from __future__ import annotations
@@ -22,6 +40,7 @@ import time
 
 import numpy as np
 
+from repro.serving.deadline import Deadline, DeadlineExceeded, FlushTimeout
 from repro.serving.metrics import MetricsRegistry
 from repro.service.providers import EmbeddingProvider
 
@@ -29,13 +48,28 @@ from repro.service.providers import EmbeddingProvider
 class _Pending:
     """One in-flight unique name, shared by every request that wants it."""
 
-    __slots__ = ("done", "vector", "error", "enqueued_at")
+    __slots__ = ("done", "vector", "error", "enqueued_at", "waiters")
 
     def __init__(self, enqueued_at: float):
         self.done = threading.Event()
         self.vector: np.ndarray | None = None
         self.error: BaseException | None = None
         self.enqueued_at = enqueued_at
+        self.waiters = 0
+
+
+class _Flush:
+    """State shared between the worker and one disposable flush thread."""
+
+    __slots__ = ("names", "vectors", "error", "done", "outcome", "lock")
+
+    def __init__(self, names: list[str]):
+        self.names = names
+        self.vectors: np.ndarray | None = None
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+        self.outcome: str | None = None   # None -> "completed"/"abandoned"
+        self.lock = threading.Lock()
 
 
 class MicroBatcher:
@@ -45,24 +79,37 @@ class MicroBatcher:
     so the worker thread is always joined.  The batcher itself implements
     the provider interface, so it can wrap — and be wrapped by — the cache
     decorators.
+
+    ``flush_timeout_s`` bounds each provider call (``None`` keeps the
+    legacy unbounded behaviour — only safe for providers that cannot
+    hang).
     """
 
     def __init__(self, provider: EmbeddingProvider, max_batch_size: int = 32,
                  max_wait_ms: float = 5.0,
+                 flush_timeout_s: float | None = None,
+                 max_hung_flushes: int = 8,
                  metrics: MetricsRegistry | None = None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be non-negative")
+        if flush_timeout_s is not None and flush_timeout_s <= 0:
+            raise ValueError("flush_timeout_s must be positive")
+        if max_hung_flushes < 1:
+            raise ValueError("max_hung_flushes must be positive")
         self.provider = provider
         self.label = provider.label
         self.dim = provider.dim
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
+        self.flush_timeout_s = flush_timeout_s
+        self.max_hung_flushes = max_hung_flushes
         self.metrics = metrics or MetricsRegistry()
         self._cond = threading.Condition()
         self._pending: dict[str, _Pending] = {}
         self._closed = False
+        self._hung_flushes = 0
         self.batches_flushed = 0
         self.names_encoded = 0
         self._worker = threading.Thread(target=self._run,
@@ -73,32 +120,46 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Caller side
     # ------------------------------------------------------------------
-    def encode(self, names: list[str]) -> np.ndarray:
+    def encode(self, names: list[str],
+               deadline: Deadline | None = None) -> np.ndarray:
         """Blocking encode through the shared batch queue.
 
         Returns a ``(len(names), dim)`` matrix aligned with ``names``.
         Raises whatever the provider raised if the flush that carried one
-        of these names failed.
+        of these names failed.  With a ``deadline``, waits are bounded:
+        expiry deregisters this caller from its pending entries and
+        raises :class:`DeadlineExceeded`.
         """
         if not names:
             return np.zeros((0, self.dim))
+        deadline = deadline or Deadline.never()
         now = time.monotonic()
         with self._cond:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
-            entries = {}
+            entries: dict[str, _Pending] = {}
             for name in names:
+                if name in entries:
+                    continue
                 entry = self._pending.get(name)
-                if entry is None or entry.done.is_set():
+                if entry is None:
                     entry = _Pending(now)
                     self._pending[name] = entry
+                entry.waiters += 1
                 entries[name] = entry
             self.metrics.counter("serving.batcher.requests").inc()
             self.metrics.gauge("serving.batcher.queue_depth").set(
                 len(self._pending))
             self._cond.notify_all()
-        for entry in entries.values():
-            entry.done.wait()
+        try:
+            for entry in entries.values():
+                if not entry.done.wait(timeout=deadline.wait_timeout()):
+                    raise DeadlineExceeded(
+                        f"encode of {len(names)} name(s) exceeded its "
+                        f"deadline while waiting for a flush")
+        except DeadlineExceeded:
+            self._abandon(entries)
+            raise
         rows = []
         for name in names:
             entry = entries[name]
@@ -106,6 +167,31 @@ class MicroBatcher:
                 raise entry.error
             rows.append(entry.vector)
         return np.stack(rows)
+
+    def _abandon(self, entries: dict[str, _Pending]) -> None:
+        """Deregister a timed-out caller from its pending entries.
+
+        Entries left with zero waiters that are still queued (the worker
+        has not taken them) are dropped, so abandoned names do not hold
+        the flush deadline open or occupy future batches.  Entries
+        already riding an in-flight flush are left to the watchdog.
+        """
+        dropped = 0
+        with self._cond:
+            for name, entry in entries.items():
+                if entry.done.is_set():
+                    continue
+                entry.waiters -= 1
+                if entry.waiters <= 0 and self._pending.get(name) is entry:
+                    del self._pending[name]
+                    dropped += 1
+            if dropped:
+                self.metrics.gauge("serving.batcher.queue_depth").set(
+                    len(self._pending))
+        self.metrics.counter("serving.abandoned_waits").inc()
+        if dropped:
+            self.metrics.counter("serving.batcher.dropped_names").inc(
+                dropped)
 
     # Provider-interface alias so the batcher composes with decorators.
     encode_names = encode
@@ -142,39 +228,121 @@ class MicroBatcher:
             batch = self._take_batch()
             if batch is None:
                 return
-            names = list(batch)
-            try:
-                with self.metrics.time("serving.batcher.flush_latency"):
-                    vectors = self.provider.encode_names(names)
-            except BaseException as error:  # propagate to every waiter
-                for entry in batch.values():
-                    entry.error = error
-                    entry.done.set()
-                self.metrics.counter("serving.batcher.errors").inc()
-                self.metrics.emit("batch_error", names=len(names),
-                                  error=repr(error))
-                continue
-            for name, vector in zip(names, vectors):
-                batch[name].vector = vector
-                batch[name].done.set()
-            self.batches_flushed += 1
-            self.names_encoded += len(names)
-            self.metrics.counter("serving.batcher.batches").inc()
-            self.metrics.counter("serving.batcher.names").inc(len(names))
-            self.metrics.histogram("serving.batcher.batch_size").observe(
-                len(names))
+            self._flush(batch)
+
+    def _flush(self, batch: dict[str, _Pending]) -> None:
+        """One provider call, bounded by the watchdog when configured."""
+        names = list(batch)
+        flush = _Flush(names)
+        if self.flush_timeout_s is None:
+            self._call_provider(flush)
+        else:
+            # Circuit breaker on the leak: with max_hung_flushes provider
+            # calls already wedged, submitting another can only stack one
+            # more hung thread on a dead encoder — fail fast instead.
+            # Recovery of any hung call (or none ever recovering but
+            # callers degrading via fallback) closes the breaker.
+            with self._cond:
+                saturated = self._hung_flushes >= self.max_hung_flushes
+            if saturated:
+                self._fail_batch(batch, FlushTimeout(
+                    f"provider has {self.max_hung_flushes} hung flush(es) "
+                    f"outstanding; failing fast"))
+                self.metrics.counter("serving.batcher.fast_fails").inc()
+                self.metrics.emit("flush_fast_fail", names=len(names))
+                return
+            thread = threading.Thread(target=self._call_provider,
+                                      args=(flush,),
+                                      name="repro-batcher-flush",
+                                      daemon=True)
+            thread.start()
+            if not flush.done.wait(self.flush_timeout_s):
+                with flush.lock:
+                    if flush.outcome is None:
+                        flush.outcome = "abandoned"
+                if flush.outcome == "abandoned":
+                    self._fail_batch(batch, FlushTimeout(
+                        f"provider flush of {len(names)} name(s) exceeded "
+                        f"{self.flush_timeout_s:g}s"))
+                    with self._cond:
+                        self._hung_flushes += 1
+                        hung = self._hung_flushes
+                    self.metrics.counter("serving.hung_flushes").inc()
+                    self.metrics.gauge(
+                        "serving.batcher.hung_flush_threads").set(hung)
+                    self.metrics.emit("hung_flush", names=len(names),
+                                      timeout_s=self.flush_timeout_s)
+                    return
+                # Completed in the race window: fall through and apply.
+        if flush.error is not None:
+            self._fail_batch(batch, flush.error)
+            self.metrics.counter("serving.batcher.errors").inc()
+            self.metrics.emit("batch_error", names=len(names),
+                              error=repr(flush.error))
+            return
+        for name, vector in zip(names, flush.vectors):
+            batch[name].vector = vector
+            batch[name].done.set()
+        self.batches_flushed += 1
+        self.names_encoded += len(names)
+        self.metrics.counter("serving.batcher.batches").inc()
+        self.metrics.counter("serving.batcher.names").inc(len(names))
+        self.metrics.histogram("serving.batcher.batch_size").observe(
+            len(names))
+
+    def _call_provider(self, flush: _Flush) -> None:
+        """Run the provider call; first of worker/watchdog claims the
+        outcome, so a late result after abandonment is discarded."""
+        try:
+            with self.metrics.time("serving.batcher.flush_latency"):
+                vectors = self.provider.encode_names(flush.names)
+            error = None
+        except BaseException as caught:  # propagate to every waiter
+            vectors, error = None, caught
+        with flush.lock:
+            if flush.outcome == "abandoned":
+                recovered = True
+            else:
+                flush.outcome = "completed"
+                flush.vectors = vectors
+                flush.error = error
+                recovered = False
+        flush.done.set()
+        if recovered:
+            with self._cond:
+                self._hung_flushes = max(0, self._hung_flushes - 1)
+                hung = self._hung_flushes
+            self.metrics.gauge(
+                "serving.batcher.hung_flush_threads").set(hung)
+            self.metrics.counter("serving.batcher.recovered_flushes").inc()
+
+    @staticmethod
+    def _fail_batch(batch: dict[str, _Pending],
+                    error: BaseException) -> None:
+        for entry in batch.values():
+            entry.error = error
+            entry.done.set()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Flush remaining names and stop the worker (idempotent)."""
+    def close(self, timeout: float | None = None) -> bool:
+        """Flush remaining names and stop the worker (idempotent).
+
+        Returns True when the worker exited within ``timeout`` (always,
+        when the watchdog is armed — every flush wait is bounded).  A
+        worker stuck in a legacy unbounded flush is left behind as a
+        daemon rather than blocking shutdown.
+        """
         with self._cond:
-            if self._closed:
-                return
-            self._closed = True
-            self._cond.notify_all()
-        self._worker.join()
+            if not self._closed:
+                self._closed = True
+                self._cond.notify_all()
+        self._worker.join(timeout)
+        stopped = not self._worker.is_alive()
+        if not stopped:
+            self.metrics.emit("close_timeout", timeout_s=timeout)
+        return stopped
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -191,4 +359,5 @@ class MicroBatcher:
                 "mean_batch_size": (self.names_encoded / self.batches_flushed
                                     if self.batches_flushed else 0.0),
                 "pending": len(self._pending),
+                "hung_flush_threads": self._hung_flushes,
             }

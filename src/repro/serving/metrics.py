@@ -56,6 +56,15 @@ class Gauge:
         with self._lock:
             self._value = float(value)
 
+    def add(self, delta: float) -> None:
+        """Shift the level by ``delta`` (atomic; negative allowed).
+
+        For up/down tracking shared across threads — in-flight requests,
+        hung worker threads — where ``set`` would race.
+        """
+        with self._lock:
+            self._value += float(delta)
+
     @property
     def value(self) -> float:
         """Most recently set level."""

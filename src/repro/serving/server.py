@@ -8,6 +8,10 @@ supervisor.  Protocol::
     {"op": "ping"}
     {"op": "embed", "names": ["link failure", ...]}
     {"op": "classify_fault", "alarm": "...", "top_k": 3}
+    {"op": "rca", "nodes": [...], "adjacency": [[...]],
+     "features": [[...]], "top_k": 3}
+    {"op": "eap", "pairs": [{"name_i": ..., "name_j": ...,
+     "node_i": ..., "node_j": ..., "time_i": 0.0, "time_j": 1.0}, ...]}
     {"op": "stats"}
 
 Responses always carry ``"ok"``; failures answer ``{"ok": false,
@@ -21,6 +25,59 @@ import json
 from typing import IO
 
 from repro.serving.service import FaultAnalysisService
+
+
+def _parse_rca_state(request: dict):
+    """Validate and build the RCA inference state from a request dict."""
+    import numpy as np
+
+    from repro.tasks.rca.serve import state_for_inference
+
+    nodes = request.get("nodes")
+    if not isinstance(nodes, list) or not nodes or \
+            not all(isinstance(n, str) for n in nodes):
+        raise ValueError("rca needs a non-empty 'nodes' string list")
+    try:
+        adjacency = np.asarray(request.get("adjacency"), dtype=float)
+        features = np.asarray(request.get("features"), dtype=float)
+    except (TypeError, ValueError):
+        raise ValueError("rca 'adjacency'/'features' must be numeric "
+                         "matrices") from None
+    v = len(nodes)
+    if adjacency.shape != (v, v):
+        raise ValueError(f"rca 'adjacency' must be {v}x{v}")
+    if features.ndim != 2 or features.shape[0] != v:
+        raise ValueError(f"rca 'features' must have {v} rows")
+    return state_for_inference(nodes, adjacency, features)
+
+
+def _parse_eap_pairs(request: dict):
+    """Validate and build EventPair objects from a request dict."""
+    from repro.tasks.eap.data import EventPair
+
+    raw_pairs = request.get("pairs")
+    if not isinstance(raw_pairs, list) or not raw_pairs or \
+            not all(isinstance(p, dict) for p in raw_pairs):
+        raise ValueError("eap needs a non-empty 'pairs' list of objects")
+    pairs = []
+    for number, raw in enumerate(raw_pairs):
+        try:
+            pairs.append(EventPair(
+                event_i=str(raw.get("event_i", raw["name_i"])),
+                event_j=str(raw.get("event_j", raw["name_j"])),
+                name_i=str(raw["name_i"]), name_j=str(raw["name_j"]),
+                node_i=str(raw["node_i"]), node_j=str(raw["node_j"]),
+                time_i=float(raw["time_i"]), time_j=float(raw["time_j"]),
+                label=0))  # placeholder; never read at inference time
+        except KeyError as missing:
+            raise ValueError(
+                f"eap pair {number} lacks required field {missing}"
+            ) from None
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"eap pair {number} has non-numeric time_i/time_j"
+            ) from None
+    return pairs
 
 
 def handle_request(service: FaultAnalysisService, request: dict) -> dict:
@@ -44,6 +101,21 @@ def handle_request(service: FaultAnalysisService, request: dict) -> dict:
         chain = service.classify_fault(alarm,
                                        top_k=int(request.get("top_k", 5)))
         return {"ok": True, "op": "classify_fault", "next_hops": chain}
+    if op == "rca":
+        state = _parse_rca_state(request)
+        top_k = request.get("top_k")
+        if top_k is not None:
+            top_k = int(top_k)
+        ranking = service.rank_root_causes(state, top_k=top_k)
+        return {"ok": True, "op": "rca",
+                "ranking": [{"node": node, "score": round(float(score), 6)}
+                            for node, score in ranking]}
+    if op == "eap":
+        verdicts = service.propagate_alarms(_parse_eap_pairs(request))
+        return {"ok": True, "op": "eap",
+                "verdicts": [{"triggers": v["triggers"],
+                              "confidence": round(float(v["confidence"]), 6)}
+                             for v in verdicts]}
     if op == "stats":
         stats = service.stats()
         return {"ok": True, "op": "stats",

@@ -3,9 +3,10 @@
 Composes the serving stack the rest of :mod:`repro.serving` provides::
 
     caller ──▶ FaultAnalysisService.embed
-                  │  timeout / bounded retry with backoff / fallback
+                  │  deadline / bounded retry with backoff / fallback
                   ▼
-               MicroBatcher  (coalesce + cross-request dedup)
+               MicroBatcher  (coalesce + cross-request dedup,
+                  │           deadline-aware waits, flush watchdog)
                   ▼
                PersistentProvider ──▶ EmbeddingStore (LRU + disk log)
                   ▼
@@ -16,16 +17,21 @@ Task calls (:meth:`rank_root_causes`, :meth:`propagate_alarms`,
 ``repro.tasks.*.serve``; the embeddings they consume travel the same
 pipeline, so they hit the same caches and metrics.
 
-Degradation policy: a primary call that exceeds ``timeout_s`` (or raises)
-is retried up to ``max_retries`` times with exponential backoff; once
-retries are exhausted the service answers from the ``fallback`` provider
+Degradation policy: every request carries a total budget of
+``timeout_s × (max_retries + 1)`` plus backoff.  Each attempt gets a
+:class:`~repro.serving.deadline.Deadline` of at most ``timeout_s``
+(clipped to the remaining budget) that is *propagated into* the batcher,
+so waits underneath are cooperative: a hung provider makes the attempt
+fail with a typed timeout and releases its pool thread instead of
+leaking it.  Exhausted budget falls back to the ``fallback`` provider
 when one is configured (counted in ``serving.fallbacks``), else raises
-:class:`ServingError`.
+:class:`ServingError`.  ``close()`` is bounded by ``close_timeout_s``
+and never blocks on a wedged provider — hung threads are daemons and
+cannot block interpreter exit.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import threading
 import time
 from dataclasses import dataclass
@@ -33,10 +39,23 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.serving.batcher import MicroBatcher
+from repro.serving.deadline import (
+    CancellationToken,
+    Deadline,
+    DeadlineExceeded,
+    FlushTimeout,
+)
 from repro.serving.metrics import MetricsRegistry, merge_hit_stats
+from repro.serving.pool import CancellableWorkerPool
 from repro.serving.store import EmbeddingStore, PersistentProvider
 from repro.service.cache import CachedProvider
 from repro.service.providers import EmbeddingProvider
+
+#: Grace added to the *external* wait on a pool job beyond the attempt
+#: deadline, so a cooperative primary (which times out internally at the
+#: deadline) gets to raise its own typed error before the waiter writes
+#: the thread off as hung.
+_ATTEMPT_GRACE_S = 0.25
 
 
 class ServingError(RuntimeError):
@@ -59,12 +78,43 @@ class ServiceConfig:
     backoff_s: float = 0.05
     #: capacity of the store's in-memory LRU tier
     lru_capacity: int = 4096
+    #: watchdog bound on one provider flush inside the batcher;
+    #: ``None`` inherits ``timeout_s``
+    flush_timeout_s: float | None = None
+    #: upper bound on how long :meth:`FaultAnalysisService.close` blocks
+    close_timeout_s: float = 5.0
+    #: concurrent primary attempts the retry pool can run
+    max_workers: int = 8
+    #: circuit-breaker: with this many provider flushes wedged, further
+    #: flushes fail fast instead of stacking more hung threads
+    max_hung_flushes: int = 8
 
     def __post_init__(self):
         if self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if self.flush_timeout_s is not None and self.flush_timeout_s <= 0:
+            raise ValueError("flush_timeout_s must be positive")
+        if self.close_timeout_s <= 0:
+            raise ValueError("close_timeout_s must be positive")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        if self.max_hung_flushes < 1:
+            raise ValueError("max_hung_flushes must be positive")
+
+    @property
+    def effective_flush_timeout_s(self) -> float:
+        """The watchdog bound actually armed on the batcher."""
+        return (self.timeout_s if self.flush_timeout_s is None
+                else self.flush_timeout_s)
+
+    def total_budget_s(self) -> float:
+        """Worst-case wall clock for one request: attempts + backoff."""
+        attempts = self.max_retries + 1
+        backoff = sum(self.backoff_s * (2 ** a)
+                      for a in range(self.max_retries))
+        return self.timeout_s * attempts + backoff
 
 
 class FaultAnalysisService:
@@ -121,12 +171,16 @@ class FaultAnalysisService:
         else:
             stack = CachedProvider(stack)
         self._cache = stack
-        self.batcher = MicroBatcher(stack,
-                                    max_batch_size=self.config.max_batch_size,
-                                    max_wait_ms=self.config.max_wait_ms,
-                                    metrics=self.metrics)
-        self._pool = concurrent.futures.ThreadPoolExecutor(
-            max_workers=8, thread_name_prefix="repro-serving")
+        self.batcher = MicroBatcher(
+            stack,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+            flush_timeout_s=self.config.effective_flush_timeout_s,
+            max_hung_flushes=self.config.max_hung_flushes,
+            metrics=self.metrics)
+        self._pool = CancellableWorkerPool(
+            max_workers=self.config.max_workers,
+            name_prefix="repro-serving", metrics=self.metrics)
         self._fit_lock = threading.Lock()
         self._closed = False
 
@@ -134,30 +188,63 @@ class FaultAnalysisService:
     # Resilience plumbing
     # ------------------------------------------------------------------
     def _call_with_policy(self, op: str, primary, fallback=None):
-        """Timeout + bounded retry with backoff + graceful degradation."""
+        """Deadline + bounded retry with backoff + graceful degradation.
+
+        ``primary`` is called as ``primary(deadline, token)`` on a pool
+        worker; deadline-aware primaries (the embed path) honour the
+        budget cooperatively and release their thread, others are bounded
+        by the external wait and written off as hung if they overrun.
+        """
         self.metrics.counter("serving.requests").inc()
         self.metrics.counter(f"serving.requests.{op}").inc()
         attempts = self.config.max_retries + 1
+        overall = Deadline.after(self.config.total_budget_s())
         last_error: BaseException | None = None
         with self.metrics.time("serving.latency"):
             for attempt in range(attempts):
-                future = self._pool.submit(primary)
-                try:
-                    with self.metrics.time(f"serving.latency.{op}"):
-                        return future.result(timeout=self.config.timeout_s)
-                except concurrent.futures.TimeoutError as error:
-                    future.cancel()
-                    last_error = error
+                remaining = overall.remaining()
+                if remaining <= 0:
+                    # Budget already spent (e.g. by earlier slow attempts
+                    # plus backoff): degrade now instead of queueing more
+                    # work behind a stuck provider.
+                    self.metrics.counter("serving.budget_exhausted").inc()
+                    break
+                deadline = Deadline.after(
+                    min(self.config.timeout_s, remaining))
+                token = CancellationToken()
+                job = self._pool.submit(
+                    lambda d=deadline, t=token: primary(d, t), token=token)
+                timed_out = not job.wait(
+                    deadline.remaining() + _ATTEMPT_GRACE_S)
+                if timed_out:
+                    self._pool.abandon(job)
+                    last_error = DeadlineExceeded(
+                        f"{op} attempt exceeded "
+                        f"{self.config.timeout_s:g}s")
                     self.metrics.counter("serving.timeouts").inc()
                     self.metrics.emit("timeout", op=op, attempt=attempt)
-                except Exception as error:  # noqa: BLE001 — retried below
-                    last_error = error
-                    self.metrics.counter("serving.errors").inc()
-                    self.metrics.emit("error", op=op, attempt=attempt,
-                                      error=repr(error))
+                else:
+                    try:
+                        with self.metrics.time(f"serving.latency.{op}"):
+                            result = job.result()
+                        self.metrics.histogram(
+                            "serving.deadline_remaining").observe(
+                            overall.remaining())
+                        return result
+                    except (DeadlineExceeded, FlushTimeout) as error:
+                        last_error = error
+                        self.metrics.counter("serving.timeouts").inc()
+                        self.metrics.emit("timeout", op=op, attempt=attempt,
+                                          error=repr(error))
+                    except Exception as error:  # noqa: BLE001 — retried
+                        last_error = error
+                        self.metrics.counter("serving.errors").inc()
+                        self.metrics.emit("error", op=op, attempt=attempt,
+                                          error=repr(error))
                 if attempt < attempts - 1:
                     self.metrics.counter("serving.retries").inc()
-                    time.sleep(self.config.backoff_s * (2 ** attempt))
+                    backoff = self.config.backoff_s * (2 ** attempt)
+                    time.sleep(min(backoff, overall.remaining()))
             if fallback is not None:
                 self.metrics.counter("serving.fallbacks").inc()
                 self.metrics.emit("fallback", op=op)
@@ -173,8 +260,12 @@ class FaultAnalysisService:
         fallback = None
         if self.fallback is not None:
             fallback = lambda: self.fallback.encode_names(names)  # noqa: E731
-        return self._call_with_policy(
-            "embed", lambda: self.batcher.encode(names), fallback)
+
+        def primary(deadline: Deadline, token: CancellationToken):
+            token.raise_if_cancelled()
+            return self.batcher.encode(names, deadline=deadline)
+
+        return self._call_with_policy("embed", primary, fallback)
 
     # ------------------------------------------------------------------
     # Fault-analysis calls
@@ -195,20 +286,21 @@ class FaultAnalysisService:
         """RCA: nodes of ``state`` ranked most-likely-root first."""
         adapter = self._fitted(self.rca, "rca")
         ranking = self._call_with_policy(
-            "rank_root_causes", lambda: adapter.rank(state))
+            "rank_root_causes", lambda d, t: adapter.rank(state))
         return ranking[:top_k] if top_k is not None else ranking
 
     def propagate_alarms(self, pairs) -> list[dict]:
         """EAP: trigger verdict + confidence for each candidate pair."""
         adapter = self._fitted(self.eap, "eap")
         return self._call_with_policy(
-            "propagate_alarms", lambda: adapter.predict(pairs))
+            "propagate_alarms", lambda d, t: adapter.predict(pairs))
 
     def classify_fault(self, alarm_name: str, top_k: int = 5) -> list[dict]:
         """FCT: most plausible next-hop alarms for ``alarm_name``."""
         adapter = self._fitted(self.fct, "fct")
         return self._call_with_policy(
-            "classify_fault", lambda: adapter.trace(alarm_name, top_k=top_k))
+            "classify_fault", lambda d, t: adapter.trace(alarm_name,
+                                                         top_k=top_k))
 
     # ------------------------------------------------------------------
     # Observability / lifecycle
@@ -225,17 +317,23 @@ class FaultAnalysisService:
             "cache": merge_hit_stats(tiers),
             "latency": latency,
             "batcher": self.batcher.stats(),
+            "pool": self._pool.stats(),
             "store": self.store.stats() if self.store else None,
             "metrics": snapshot,
         }
 
     def close(self) -> None:
-        """Stop the batcher worker and the retry pool (idempotent)."""
+        """Stop the batcher worker and the retry pool (idempotent).
+
+        Bounded by ``config.close_timeout_s``: a provider wedged inside a
+        flush cannot hold shutdown hostage — its thread is a daemon and
+        is simply left behind.
+        """
         if self._closed:
             return
         self._closed = True
-        self.batcher.close()
-        self._pool.shutdown(wait=False)
+        self.batcher.close(timeout=self.config.close_timeout_s)
+        self._pool.shutdown()
 
     def __enter__(self) -> "FaultAnalysisService":
         return self

@@ -87,11 +87,22 @@ class EmbeddingStore:
                 if self._matches(record):
                     self._offsets[record["n"]] = start
 
-    def _read_at(self, offset: int) -> np.ndarray:
-        with open(self.path, "rb") as handle:
-            handle.seek(offset)
-            record = json.loads(handle.readline().decode("utf-8"))
-        return np.asarray(record["e"], dtype=np.float64)
+    def _read_at(self, offset: int) -> np.ndarray | None:
+        """Decode the record at ``offset``; ``None`` if torn/unreadable.
+
+        A record that indexed cleanly can still fail to read later (the
+        file truncated or corrupted underneath a live store).  That must
+        degrade to a cache miss — the provider re-encodes — never to a
+        ``JSONDecodeError`` escaping ``get()``.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(offset)
+                record = json.loads(handle.readline().decode("utf-8"))
+            return np.asarray(record["e"], dtype=np.float64)
+        except (OSError, json.JSONDecodeError, KeyError, UnicodeDecodeError,
+                TypeError, ValueError):
+            return None
 
     # ------------------------------------------------------------------
     # LRU tier
@@ -117,7 +128,12 @@ class EmbeddingStore:
             vector = self._lru_get(name)
             if vector is None and name in self._offsets:
                 vector = self._read_at(self._offsets[name])
-                self._lru_put(name, vector)
+                if vector is None:
+                    # Torn/unreadable record: forget the offset so the
+                    # miss is permanent rather than re-read every call.
+                    del self._offsets[name]
+                else:
+                    self._lru_put(name, vector)
             if vector is None:
                 self.misses += 1
             else:
@@ -176,22 +192,29 @@ class EmbeddingStore:
         Garbage-collects entries from superseded fingerprints (and other
         providers/modes).  Safe to call while the store is live.
         """
+        from repro.models.checkpoint import atomic_write_bytes
+
         with self._lock:
             live: dict[str, np.ndarray] = {}
             for name, offset in self._offsets.items():
-                live[name] = self._read_at(offset)
-            tmp_path = self.path.with_suffix(".tmp")
-            with open(tmp_path, "wb") as handle:
-                offsets: dict[str, int] = {}
-                for name, vector in live.items():
-                    record = {"v": self.fingerprint, "p": self.label,
-                              "m": self.mode, "n": name,
-                              "e": [float(x) for x in vector]}
-                    offsets[name] = handle.tell()
-                    handle.write(json.dumps(record,
-                                            ensure_ascii=False).encode())
-                    handle.write(b"\n")
-            tmp_path.replace(self.path)
+                vector = self._read_at(offset)
+                if vector is not None:  # torn records fall out of the log
+                    live[name] = vector
+            chunks: list[bytes] = []
+            offsets: dict[str, int] = {}
+            position = 0
+            for name, vector in live.items():
+                record = {"v": self.fingerprint, "p": self.label,
+                          "m": self.mode, "n": name,
+                          "e": [float(x) for x in vector]}
+                line = json.dumps(record, ensure_ascii=False).encode() + b"\n"
+                offsets[name] = position
+                position += len(line)
+                chunks.append(line)
+            # Same temp+fsync+rename discipline as SnapshotStore: a crash
+            # mid-compaction leaves the previous complete log, never a
+            # partial one.
+            atomic_write_bytes(self.path, b"".join(chunks))
             self._offsets = offsets
             return len(offsets)
 
@@ -225,16 +248,24 @@ class PersistentProvider(EmbeddingProvider):
         self._lock = threading.Lock()
 
     def encode_names(self, names: list[str]) -> np.ndarray:
+        # The lock guards only the store read and write — never the inner
+        # encode.  A slow (or hung) encoder therefore cannot serialize
+        # traffic that the disk/LRU tiers can already answer.  Two threads
+        # racing on the same missing name may both encode it; the second
+        # put_many wins and each caller returns a self-consistent matrix
+        # (duplicate names within one request always share one vector,
+        # drawn from this call's ``found`` map).
         with self._lock:
             found = self.store.get_many(names)
-            missing = [n for n in dict.fromkeys(names) if n not in found]
-            if missing:
-                vectors = self.inner.encode_names(missing)
-                fresh = {name: vector
-                         for name, vector in zip(missing, vectors)}
+        missing = [n for n in dict.fromkeys(names) if n not in found]
+        if missing:
+            vectors = self.inner.encode_names(missing)
+            fresh = {name: vector
+                     for name, vector in zip(missing, vectors)}
+            with self._lock:
                 self.store.put_many(fresh)
-                found.update(fresh)
-            return np.stack([found[n] for n in names])
+            found.update(fresh)
+        return np.stack([found[n] for n in names])
 
     def stats(self) -> dict:
         """The underlying store's counters."""

@@ -1,0 +1,34 @@
+"""Shared pytest plumbing for the unit-test tier.
+
+Provides the ``@pytest.mark.timeout(seconds)`` hard watchdog used by the
+fault-injection tests: a reintroduced deadlock must surface as a *failed*
+CI job with thread tracebacks, not a job that hangs until the runner's
+global timeout kills it silently.
+
+Implemented on :func:`faulthandler.dump_traceback_later` (stdlib, no
+``pytest-timeout`` dependency): when the marked test exceeds its budget,
+every thread's traceback is dumped to stderr and the process exits
+non-zero.  The timer is cancelled on normal completion, so passing tests
+pay nothing.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+
+import pytest
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    seconds = None
+    if marker is not None:
+        seconds = float(marker.args[0]) if marker.args else 60.0
+    if seconds:
+        faulthandler.dump_traceback_later(seconds, exit=True)
+    try:
+        yield
+    finally:
+        if seconds:
+            faulthandler.cancel_dump_traceback_later()

@@ -75,6 +75,15 @@ class TestMetrics:
         with pytest.raises(ValueError):
             registry.counter("requests").inc(-1)
 
+    def test_gauge_add_moves_both_directions(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("hung_threads")
+        gauge.add(3)
+        gauge.add(-2)
+        assert registry.snapshot()["gauges"]["hung_threads"] == 1.0
+        gauge.add(-5)   # gauges, unlike counters, may go negative
+        assert registry.snapshot()["gauges"]["hung_threads"] == -4.0
+
     def test_percentile_math(self):
         histogram = Histogram("latency")
         for value in range(1, 101):
@@ -172,8 +181,11 @@ class TestCachedProvider:
         for thread in threads:
             thread.join()
         assert not errors
-        # The lock makes the first miss exclusive: exactly one inner call.
-        assert inner.calls == 1
+        # Concurrent cold misses may duplicate work (last-write-wins, so a
+        # hung encode can never block an independent caller), but once the
+        # cache settles every further iteration is a pure hit: the call
+        # count is bounded by the number of racing threads, not 8 * 20.
+        assert 1 <= inner.calls <= 8
         assert provider.cache_size == 2
 
 
@@ -567,6 +579,65 @@ class TestServerLoop:
                         {"op": "nope"}, {}):
                 with pytest.raises(ValueError):
                     handle_request(service, bad)
+
+    def test_rca_op_matches_facade(self, tiny_service):
+        service, _, rca, _, _ = tiny_service
+        state = rca.dataset.states[0]
+        request = {"op": "rca",
+                   "nodes": list(state.node_names),
+                   "adjacency": state.adjacency.tolist(),
+                   "features": state.features.tolist()}
+        response = handle_request(service, request)
+        assert response["ok"] and response["op"] == "rca"
+        ranking = response["ranking"]
+        assert sorted(r["node"] for r in ranking) == sorted(state.node_names)
+        scores = [r["score"] for r in ranking]
+        assert scores == sorted(scores, reverse=True)
+        top2 = handle_request(service, {**request, "top_k": 2})["ranking"]
+        assert top2 == ranking[:2]
+
+    def test_eap_op_matches_facade(self, tiny_service):
+        service, _, _, eap, _ = tiny_service
+        pairs = eap.dataset.pairs[:3]
+        request = {"op": "eap", "pairs": [
+            {"name_i": p.name_i, "name_j": p.name_j,
+             "node_i": p.node_i, "node_j": p.node_j,
+             "time_i": p.time_i, "time_j": p.time_j}
+            for p in pairs]}
+        response = handle_request(service, request)
+        assert response["ok"] and response["op"] == "eap"
+        assert len(response["verdicts"]) == 3
+        for verdict in response["verdicts"]:
+            assert isinstance(verdict["triggers"], bool)
+            assert 0.0 <= verdict["confidence"] <= 1.0
+        # JSON round-trip safe (the server writes one line per response).
+        json.loads(json.dumps(response))
+
+    def test_rca_eap_ops_reject_bad_shapes(self, tiny_service):
+        service, _, rca, _, _ = tiny_service
+        state = rca.dataset.states[0]
+        nodes = list(state.node_names)
+        good_adj = state.adjacency.tolist()
+        good_feat = state.features.tolist()
+        bad_requests = [
+            {"op": "rca"},                                  # nothing at all
+            {"op": "rca", "nodes": "a"},                    # not a list
+            {"op": "rca", "nodes": nodes, "adjacency": "x",
+             "features": good_feat},                        # non-numeric
+            {"op": "rca", "nodes": nodes, "adjacency": [[0.0]],
+             "features": good_feat},                        # wrong shape
+            {"op": "rca", "nodes": nodes, "adjacency": good_adj,
+             "features": [[0.0]]},                          # wrong rows
+            {"op": "eap"},                                  # nothing at all
+            {"op": "eap", "pairs": []},                     # empty
+            {"op": "eap", "pairs": [{"name_i": "a"}]},      # missing fields
+            {"op": "eap", "pairs": [
+                {"name_i": "a", "name_j": "b", "node_i": "n",
+                 "node_j": "m", "time_i": "soon", "time_j": 1.0}]},
+        ]
+        for bad in bad_requests:
+            with pytest.raises(ValueError):
+                handle_request(service, bad)
 
 
 class TestServeCli:
