@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-slow lint bench gradcheck reproduce \
-	report api serve-smoke train-smoke clean
+.PHONY: install test test-fast test-slow lint lint-repro bench gradcheck \
+	reproduce report api serve-smoke train-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,6 +23,12 @@ test-slow:
 lint:
 	ruff check src/ tests/ tools/ benchmarks/
 	ruff format --check src/ tests/ tools/ benchmarks/
+
+# Repo-aware static analysis (repro.lint): concurrency, RNG discipline,
+# atomic-IO, and metric/token-drift rules.  Stdlib-only; composes with
+# ruff rather than replacing it.
+lint-repro:
+	$(PYTHON) tools/run_lint.py --baseline tools/lint_baseline.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -15,6 +15,9 @@ Commands
                atomic checkpoint/resume, optional multi-process gradient
                workers, SIGINT/SIGTERM trapped into a final checkpoint,
                and a JSONL run journal (see :mod:`repro.training.runtime`).
+``lint``       repo-aware static analysis (:mod:`repro.lint`): concurrency,
+               RNG discipline, atomic-IO, and literal-drift rules with
+               inline suppressions and a committed baseline.
 """
 
 from __future__ import annotations
@@ -316,6 +319,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_main
+
+    return lint_main(args.lint_args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -423,11 +432,27 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--export", default=None,
                        help="save a serving checkpoint here on completion")
     train.set_defaults(func=_cmd_train)
+
+    lint = sub.add_parser(
+        "lint",
+        help="repo-aware static analysis over src/repro (repro.lint)")
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="forwarded to the lint driver — e.g. "
+                           "--baseline tools/lint_baseline.json, "
+                           "--format json, --list-rules")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # Forwarded verbatim: argparse.REMAINDER refuses option-like
+        # leading arguments, and the lint driver owns its own --help.
+        from repro.lint import lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

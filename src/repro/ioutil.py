@@ -1,0 +1,62 @@
+"""Durable file IO shared by checkpointing, vocab, and the serving store.
+
+Every artifact the repo persists for later reloading (checkpoints, vocab
+files, snapshot metadata) must go through :func:`atomic_write_bytes` /
+:func:`atomic_write_text`: serialise in memory, write to a temp file in
+the destination directory, fsync, rename over the target, fsync the
+directory.  Readers then always see either the previous complete file or
+the new complete file — never a torn write.  Append-only journals are the
+one sanctioned alternative (a torn tail loses the last record, not the
+file).  The ``RL004`` lint rule enforces this discipline.
+
+This module is dependency-free on purpose: low-level packages
+(``repro.tokenization``) import it without dragging in the model stack.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Durably write ``data`` to ``path``: temp file + fsync + rename.
+
+    The temporary file is created in the destination directory so the final
+    :func:`os.replace` is a same-filesystem atomic rename; the directory is
+    fsynced afterwards so the rename itself survives a power loss.  Readers
+    therefore always see either the previous complete file or the new
+    complete file, never a partial write.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.tmp-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Text-mode convenience wrapper over :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]

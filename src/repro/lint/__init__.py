@@ -1,0 +1,65 @@
+"""repro.lint — repo-aware static analysis for the reproduction codebase.
+
+PRs 2-4 each fixed a *class* of latent bug by hand: locks held across
+blocking encodes, unbounded ``Event.wait()``s that deadlocked the serving
+stack, non-atomic checkpoint writes, and global-RNG use that breaks the
+bit-exact resume guarantee of :mod:`repro.training.runtime`.  This package
+turns those invariants into enforced rules so regressions fail CI instead
+of being rediscovered in production.
+
+Framework (stdlib ``ast``/``tokenize`` only, no new dependencies):
+
+* a pluggable checker registry (:data:`~repro.lint.core.RULES`, populated
+  by the :func:`~repro.lint.core.rule` decorator) with per-rule severity;
+* inline suppressions — ``# repro-lint: allow[RL00x] reason`` on the
+  violating line or the line above (a reason is mandatory);
+* a committed baseline (``tools/lint_baseline.json``) keyed by
+  line-drift-tolerant fingerprints, so new violations fail CI while any
+  tracked legacy ones are burned down to zero;
+* text/JSON reporting with CI-friendly exit codes via
+  ``tools/run_lint.py`` and ``python -m repro lint``.
+
+Shipped rules (see :mod:`repro.lint.rules` for the full rationale):
+
+========  ============================================================
+RL001     blocking call inside a ``with <lock>:`` block
+RL002     unbounded ``.wait()``/``.get()``/``.result()``/``.acquire()``
+          in the serving/training stack
+RL003     ``threading.Thread`` without ``daemon=True`` in library code
+RL004     checkpoint/store writes bypassing temp+fsync+rename
+RL005     global-RNG calls (``random.*`` / ``np.random.*``) instead of a
+          seeded ``Generator``
+RL006     bare/over-broad ``except`` that swallows silently
+RL007     metric-name / prompt-token string drift from the single source
+          of truth
+========  ============================================================
+"""
+
+from repro.lint.baseline import Baseline, load_baseline, save_baseline
+from repro.lint.cli import main as lint_main
+from repro.lint.core import (
+    RULES,
+    Finding,
+    LintConfig,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    rule,
+)
+from repro.lint import rules as _rules  # registers the built-in rules
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "Rule",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "lint_main",
+    "load_baseline",
+    "rule",
+    "save_baseline",
+]

@@ -1,0 +1,133 @@
+"""Committed-baseline support: track legacy findings without letting new
+ones in.
+
+The baseline (``tools/lint_baseline.json``) is a list of fingerprint
+entries, each with a mandatory ``tracking`` comment explaining why the
+finding is grandfathered rather than fixed.  A lint run then partitions
+its findings into *baselined* (reported as informational, exit 0) and
+*new* (fail the run).  Entries whose fingerprint no longer matches any
+finding are *stale* — the debt was paid down — and ``--update-baseline``
+drops them, so the file ratchets monotonically toward empty.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.core import Finding
+
+#: Format marker so a future schema change can migrate old files.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding, identified by fingerprint."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    tracking: str  # why this is tracked instead of fixed
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "tracking": self.tracking,
+        }
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered fingerprints plus match bookkeeping."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def fingerprints(self) -> set[str]:
+        return {entry.fingerprint for entry in self.entries}
+
+    def partition(self, findings: list[Finding]
+                  ) -> tuple[list[Finding], list[Finding],
+                             list[BaselineEntry]]:
+        """Split findings into (new, baselined) and report stale entries.
+
+        A stale entry matched no finding this run — its debt was fixed
+        (or the code deleted); ``--update-baseline`` prunes it.
+        """
+        known = self.fingerprints
+        new = [f for f in findings if f.fingerprint not in known]
+        baselined = [f for f in findings if f.fingerprint in known]
+        live = {f.fingerprint for f in baselined}
+        stale = [entry for entry in self.entries
+                 if entry.fingerprint not in live]
+        return new, baselined, stale
+
+    @staticmethod
+    def from_findings(findings: list[Finding],
+                      tracking: str = "TODO: grandfathered — "
+                                      "fix and remove") -> "Baseline":
+        entries = [BaselineEntry(fingerprint=f.fingerprint, rule=f.rule,
+                                 path=f.path, tracking=tracking)
+                   for f in findings]
+        # One entry per fingerprint, stable order.
+        unique: dict[str, BaselineEntry] = {}
+        for entry in entries:
+            unique.setdefault(entry.fingerprint, entry)
+        return Baseline(entries=sorted(
+            unique.values(), key=lambda e: (e.path, e.rule, e.fingerprint)))
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {BASELINE_VERSION})")
+    entries = []
+    for raw in data.get("entries", []):
+        missing = {"fingerprint", "rule", "path", "tracking"} - set(raw)
+        if missing:
+            raise ValueError(
+                f"baseline entry missing field(s) {sorted(missing)}: {raw}")
+        if not str(raw["tracking"]).strip():
+            raise ValueError(
+                f"baseline entry for {raw['fingerprint']} has an empty "
+                f"tracking comment — every grandfathered finding needs "
+                f"an owner note")
+        entries.append(BaselineEntry(
+            fingerprint=raw["fingerprint"], rule=raw["rule"],
+            path=raw["path"], tracking=raw["tracking"]))
+    return Baseline(entries=entries)
+
+
+def save_baseline(baseline: Baseline, path: str | Path) -> None:
+    """Write the baseline deterministically (sorted, trailing newline)."""
+    path = Path(path)
+    entries = sorted(baseline.entries,
+                     key=lambda e: (e.path, e.rule, e.fingerprint))
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": "Grandfathered repro-lint findings. Entries are "
+                   "removed as the underlying debt is fixed; do not add "
+                   "entries for new code — fix it instead.",
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "BaselineEntry",
+    "load_baseline",
+    "save_baseline",
+]

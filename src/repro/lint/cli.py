@@ -1,0 +1,186 @@
+"""Command-line driver for :mod:`repro.lint`.
+
+Exit codes (CI contract):
+
+* ``0`` — clean, or every error-severity finding is in the baseline;
+* ``1`` — at least one *new* error-severity finding;
+* ``2`` — usage error (unknown rule code, unreadable baseline, ...).
+
+Used both by ``tools/run_lint.py`` (no-install entry point) and
+``python -m repro lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import Baseline, load_baseline, save_baseline
+from repro.lint.core import RULES, Finding, analyze_paths
+
+#: Default lint targets relative to the repo root.
+DEFAULT_PATHS = ("src/repro",)
+
+
+def find_repo_root(start: Path | None = None) -> Path:
+    """Walk up from ``start`` to the directory containing ``pyproject.toml``.
+
+    Falls back to the current working directory so the linter still runs
+    on a bare source tree.
+    """
+    cursor = (start or Path.cwd()).resolve()
+    for candidate in (cursor, *cursor.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return cursor
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the lint driver (shared by tests and main)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Repo-aware static analysis for the repro codebase "
+                    "(concurrency, RNG discipline, atomic IO, literal "
+                    "drift).")
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files or directories to lint (default: {DEFAULT_PATHS})")
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root for scoping and fingerprints "
+             "(default: auto-detected via pyproject.toml)")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON file; findings whose fingerprint it lists "
+             "are reported but do not fail the run")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline to exactly the current findings "
+             "(prunes stale entries) and exit 0")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="RL00x",
+        help="run only these rule codes (repeatable)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules with rationale and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    blocks = []
+    for code in sorted(RULES):
+        meta = RULES[code]
+        block = f"{code} [{meta.severity}] {meta.title}"
+        if meta.rationale:
+            indented = "\n".join("    " + line for line in
+                                 meta.rationale.splitlines())
+            block += "\n" + indented
+        blocks.append(block)
+    return "\n\n".join(blocks)
+
+
+def _render_text(new: list[Finding], baselined: list[Finding],
+                 stale_count: int) -> str:
+    lines = []
+    for finding in new:
+        lines.append(finding.render())
+    for finding in baselined:
+        lines.append(f"{finding.render()} (baselined)")
+    if stale_count:
+        lines.append(f"note: {stale_count} stale baseline entr"
+                     f"{'y' if stale_count == 1 else 'ies'} — the debt "
+                     f"was fixed; run --update-baseline to prune")
+    errors = sum(1 for f in new if f.severity == "error")
+    warnings = sum(1 for f in new if f.severity == "warning")
+    lines.append(
+        f"repro-lint: {errors} new error(s), {warnings} new warning(s), "
+        f"{len(baselined)} baselined")
+    return "\n".join(lines)
+
+
+def _render_json(new: list[Finding], baselined: list[Finding],
+                 stale_count: int, exit_code: int) -> str:
+    return json.dumps({
+        "version": 1,
+        "new": [f.to_dict() for f in new],
+        "baselined": [f.to_dict() for f in baselined],
+        "stale_baseline_entries": stale_count,
+        "summary": {
+            "new_errors": sum(1 for f in new if f.severity == "error"),
+            "new_warnings": sum(1 for f in new
+                                if f.severity == "warning"),
+            "baselined": len(baselined),
+            "exit_code": exit_code,
+        },
+    }, indent=2)
+
+
+def main(argv: Sequence[str] | None = None,
+         stdout=None, stderr=None) -> int:
+    """Run the lint driver; returns the CI exit code (see module doc).
+
+    ``stdout``/``stderr`` are injectable for tests; they default to the
+    process streams.
+    """
+    stdout = stdout or sys.stdout
+    stderr = stderr or sys.stderr
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules(), file=stdout)
+        return 0
+
+    root = Path(args.root).resolve() if args.root else find_repo_root()
+    paths = args.paths or [root / p for p in DEFAULT_PATHS]
+
+    try:
+        findings = analyze_paths(paths, root=root, select=args.select)
+    except ValueError as error:  # unknown --select code
+        print(f"repro-lint: {error}", file=stderr)
+        return 2
+
+    baseline = Baseline()
+    baseline_path = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_absolute():
+            baseline_path = root / baseline_path
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as error:
+            print(f"repro-lint: bad baseline {baseline_path}: {error}",
+                  file=stderr)
+            return 2
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print("repro-lint: --update-baseline requires --baseline",
+                  file=stderr)
+            return 2
+        errors = [f for f in findings if f.severity == "error"]
+        save_baseline(Baseline.from_findings(errors), baseline_path)
+        print(f"repro-lint: baseline updated with {len(errors)} "
+              f"entr{'y' if len(errors) == 1 else 'ies'} at "
+              f"{baseline_path}", file=stdout)
+        return 0
+
+    new, baselined, stale = baseline.partition(findings)
+    exit_code = 1 if any(f.severity == "error" for f in new) else 0
+
+    if args.format == "json":
+        print(_render_json(new, baselined, len(stale), exit_code),
+              file=stdout)
+    else:
+        print(_render_text(new, baselined, len(stale)), file=stdout)
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,408 @@
+"""Framework core: findings, rule registry, suppressions, file driver.
+
+Everything here is dependency-free (stdlib ``ast`` + ``tokenize``), so the
+linter runs in any environment that can parse the sources — including CI
+tiers that have not installed the package's numeric dependencies.
+
+Design points
+-------------
+
+*Fingerprints, not line numbers.*  A finding's identity is the SHA-1 of
+``rule | path | enclosing qualname | normalised source line``.  Unrelated
+edits that shift line numbers leave fingerprints (and therefore the
+committed baseline) untouched; editing the offending line itself makes the
+finding "new" again, which is exactly when a human should re-look.
+
+*Suppressions need a reason.*  ``# repro-lint: allow[RL001] holding the
+lock here is bounded by X`` trailing the violating line (or standing
+alone on the line directly above it) suppresses that rule on that line
+only.  A suppression without a reason is itself a finding (``RL000``) —
+silencing a checker is an auditable decision, not a shrug.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+#: Severities a rule (or finding) can carry.  ``error`` fails the run;
+#: ``warning`` is reported but never changes the exit code.
+SEVERITIES = ("error", "warning")
+
+#: Framework-level diagnostics (parse failures, malformed suppressions)
+#: are reported under this pseudo-rule code.
+FRAMEWORK_CODE = "RL000"
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<codes>[A-Z0-9,\s]+)\]\s*(?P<reason>.*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str          # repo-relative posix path (stable across machines)
+    line: int
+    col: int
+    message: str
+    line_text: str = ""
+    qualname: str = "<module>"
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-drift-tolerant identity used by the baseline."""
+        normalised = " ".join(self.line_text.split())
+        key = f"{self.rule}|{self.path}|{self.qualname}|{normalised}"
+        return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (includes the fingerprint)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "line_text": self.line_text,
+            "qualname": self.qualname,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: RL00x [severity] message`` for the text report."""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"[{self.severity}] {self.message}")
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered checker: metadata plus its check callable."""
+
+    code: str
+    title: str
+    severity: str
+    check: Callable[["ModuleContext"], list[Finding]]
+    rationale: str = ""
+
+
+#: The pluggable registry; populated by the :func:`rule` decorator at
+#: import time of :mod:`repro.lint.rules` (or of third-party extensions).
+RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, title: str, severity: str = "error"):
+    """Class-decorator-free registration: ``@rule("RL001", "...")``.
+
+    The decorated callable receives a :class:`ModuleContext` and returns a
+    list of :class:`Finding`; its docstring becomes the rule's rationale
+    (shown by ``--list-rules``).
+    """
+    if severity not in SEVERITIES:
+        raise ValueError(f"severity must be one of {SEVERITIES}")
+
+    def decorate(check: Callable[[ModuleContext], list[Finding]]):
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        RULES[code] = Rule(code=code, title=title, severity=severity,
+                           check=check,
+                           rationale=(check.__doc__ or "").strip())
+        return check
+
+    return decorate
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Repo-aware scoping knobs shared by every rule.
+
+    Paths are repo-relative posix prefixes.  Tests inject synthetic
+    ``rel`` paths (e.g. ``src/repro/serving/fixture.py``) to place a
+    fixture inside or outside a rule's scope without touching the tree.
+    """
+
+    #: RL002 (unbounded waits) applies under these prefixes.
+    bounded_wait_scope: tuple[str, ...] = (
+        "src/repro/serving/", "src/repro/training/", "src/repro/service/")
+    #: RL004 (atomic writes) applies under these prefixes.
+    atomic_scope: tuple[str, ...] = (
+        "src/repro/models/", "src/repro/serving/", "src/repro/training/",
+        "src/repro/tokenization/")
+    #: Functions implementing the atomic-write discipline itself are
+    #: exempt from RL004 (they are its temp-file machinery).
+    atomic_impl_prefixes: tuple[str, ...] = ("atomic_write",)
+    #: The one module allowed to define metric-name literals.
+    metric_names_module: str = "src/repro/serving/metric_names.py"
+    #: The one module allowed to define prompt-token literals.
+    prompt_templates_module: str = "src/repro/prompts/templates.py"
+    #: Prompt tokens whose literal occurrence elsewhere is drift (RL007).
+    prompt_tokens: tuple[str, ...] = (
+        "[ALM]", "[KPI]", "[ATTR]", "[ENT]", "[REL]", "[DOC]", "[LOC]",
+        "[NUM]", "[SIG]", "[CFG]")
+    #: Modules where a bare ``"|"`` literal counts as prompt-separator
+    #: drift (prompt-construction layers only; ASCII art elsewhere is fine).
+    separator_scope: tuple[str, ...] = (
+        "src/repro/corpus/", "src/repro/models/", "src/repro/tasks/",
+        "src/repro/prompts/")
+    #: ``np.random.<fn>`` attributes that are *not* global-state RNG use.
+    rng_allowed: tuple[str, ...] = (
+        "default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+        "Philox", "MT19937")
+    #: ``random.<fn>`` (stdlib) attributes that are instance constructors,
+    #: not module-global state.
+    stdlib_rng_allowed: tuple[str, ...] = ("Random", "SystemRandom")
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to check one parsed module."""
+
+    rel: str                      # repo-relative posix path
+    source: str
+    tree: ast.AST
+    config: LintConfig
+    lines: list[str] = field(default_factory=list)
+    _parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    _qualnames: dict[ast.AST, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.lines = self.source.splitlines()
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # -- structure helpers --------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted enclosing ``Class.method`` chain (cached per node)."""
+        if node in self._qualnames:
+            return self._qualnames[node]
+        parts: list[str] = []
+        cursor: ast.AST | None = node
+        while cursor is not None:
+            if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                parts.append(cursor.name)
+            cursor = self._parents.get(cursor)
+        qualname = ".".join(reversed(parts)) or "<module>"
+        self._qualnames[node] = qualname
+        return qualname
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def in_scope(self, prefixes: Iterable[str]) -> bool:
+        return any(self.rel.startswith(prefix) for prefix in prefixes)
+
+    def is_docstring(self, node: ast.Constant) -> bool:
+        """Whether this string constant is a bare expression statement
+        (docstrings and block comments-as-strings — never executed as
+        data, so exempt from literal-drift rules)."""
+        parent = self._parents.get(node)
+        return isinstance(parent, ast.Expr)
+
+    # -- finding construction -----------------------------------------
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        meta = RULES[code]
+        lineno = getattr(node, "lineno", 1)
+        return Finding(rule=code, severity=meta.severity, path=self.rel,
+                       line=lineno, col=getattr(node, "col_offset", 0),
+                       message=message, line_text=self.line_text(lineno),
+                       qualname=self.qualname(node))
+
+
+# ---------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Suppression:
+    line: int
+    codes: frozenset[str]
+    reason: str
+
+
+def _parse_suppressions(source: str) -> tuple[list[_Suppression],
+                                              list[tuple[int, str]]]:
+    """Extract ``# repro-lint: allow[...]`` comments via ``tokenize``.
+
+    A trailing comment suppresses its own line; a standalone comment line
+    suppresses the line below it (and only that line — suppressions never
+    bleed onto neighbouring findings).
+
+    Returns (suppressions, problems) where problems are (line, message)
+    pairs for malformed suppressions (missing reason / empty code list).
+    """
+    suppressions: list[_Suppression] = []
+    problems: list[tuple[int, str]] = []
+    lines = source.splitlines()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [t for t in tokens if t.type == tokenize.COMMENT]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions, problems
+    for token in comments:
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            if "repro-lint" in token.string:
+                problems.append(
+                    (token.start[0],
+                     "malformed repro-lint comment (expected "
+                     "'# repro-lint: allow[RL00x] reason')"))
+            continue
+        codes = frozenset(c.strip() for c in match.group("codes").split(",")
+                          if c.strip())
+        reason = match.group("reason").strip()
+        if not codes:
+            problems.append((token.start[0],
+                             "suppression lists no rule codes"))
+            continue
+        if not reason:
+            problems.append(
+                (token.start[0],
+                 "suppression without a reason — say why the rule does "
+                 "not apply here"))
+            continue
+        row, col = token.start
+        prefix = lines[row - 1][:col] if row <= len(lines) else ""
+        target = row + 1 if not prefix.strip() else row
+        suppressions.append(_Suppression(line=target, codes=codes,
+                                         reason=reason))
+    return suppressions, problems
+
+
+def _apply_suppressions(findings: list[Finding],
+                        suppressions: list[_Suppression]) -> list[Finding]:
+    """Drop findings whose line a suppression targets."""
+    if not suppressions:
+        return findings
+    by_line: dict[int, set[str]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.line, set()).update(suppression.codes)
+    return [finding for finding in findings
+            if finding.rule not in by_line.get(finding.line, set())]
+
+
+# ---------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------
+def _validate_select(select: Iterable[str] | None) -> set[str] | None:
+    """Resolve ``select`` to a code set; unknown codes are a usage error."""
+    if select is None:
+        return None
+    selected = set(select)
+    unknown = selected - set(RULES) - {FRAMEWORK_CODE}
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+    return selected
+
+
+def analyze_source(source: str, rel: str,
+                   config: LintConfig | None = None,
+                   select: Iterable[str] | None = None) -> list[Finding]:
+    """Run the (selected) rules over one module's source text.
+
+    ``rel`` is the repo-relative posix path used for scoping and
+    fingerprints; it does not need to exist on disk, which is what makes
+    fixture-based rule tests cheap.
+    """
+    config = config or LintConfig()
+    selected = _validate_select(select)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [Finding(rule=FRAMEWORK_CODE, severity="error", path=rel,
+                        line=error.lineno or 1, col=error.offset or 0,
+                        message=f"syntax error: {error.msg}")]
+    context = ModuleContext(rel=rel, source=source, tree=tree, config=config)
+    findings: list[Finding] = []
+    for meta in RULES.values():
+        if selected is not None and meta.code not in selected:
+            continue
+        findings.extend(meta.check(context))
+    suppressions, problems = _parse_suppressions(source)
+    findings = _apply_suppressions(findings, suppressions)
+    if selected is None or FRAMEWORK_CODE in selected:
+        for line, message in problems:
+            findings.append(Finding(
+                rule=FRAMEWORK_CODE, severity="error", path=rel, line=line,
+                col=0, message=message,
+                line_text=context.line_text(line),
+                qualname="<module>"))
+    return sorted(findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Iterable[str | Path],
+                      root: Path) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files or directories), sorted."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def analyze_paths(paths: Iterable[str | Path], root: str | Path,
+                  config: LintConfig | None = None,
+                  select: Iterable[str] | None = None) -> list[Finding]:
+    """Lint every Python file under ``paths``; findings sorted by location.
+
+    ``root`` is the repository root: file paths are recorded relative to
+    it so fingerprints are stable across checkouts.
+    """
+    root = Path(root).resolve()
+    _validate_select(select)  # fail fast even when no file matches
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, root):
+        try:
+            rel = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            findings.append(Finding(
+                rule=FRAMEWORK_CODE, severity="error", path=rel, line=1,
+                col=0, message=f"unreadable file: {error}"))
+            continue
+        findings.extend(analyze_source(source, rel, config=config,
+                                       select=select))
+    return sorted(findings, key=Finding.sort_key)
+
+
+__all__ = [
+    "FRAMEWORK_CODE",
+    "Finding",
+    "LintConfig",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "SEVERITIES",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "rule",
+]

@@ -29,13 +29,12 @@ import dataclasses
 import hashlib
 import io
 import json
-import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.ioutil import atomic_write_bytes, atomic_write_text
 from repro.models.bert import BertConfig, BertForMaskedLM
 from repro.models.ktelebert import KTeleBert, KTeleBertConfig
 from repro.nn.optim import Optimizer
@@ -80,14 +79,17 @@ def save_ktelebert(model: KTeleBert, path: str | Path) -> Path:
             "lowercase": model.tokenizer.lowercase,
         },
     }
-    (path / "meta.json").write_text(json.dumps(meta, ensure_ascii=False))
+    atomic_write_text(path / "meta.json",
+                      json.dumps(meta, ensure_ascii=False))
     model.tokenizer.vocab.save(path / "vocab.json")
 
     flat: dict[str, np.ndarray] = {}
     for component, state in _component_states(model).items():
         for name, values in state.items():
             flat[f"{component}/{name}"] = values
-    np.savez(path / "weights.npz", **flat)
+    buffer = io.BytesIO()
+    np.savez(buffer, **flat)
+    atomic_write_bytes(path / "weights.npz", buffer.getvalue())
     return path
 
 
@@ -182,39 +184,6 @@ def load_ktelebert(path: str | Path, seed: int = 0) -> KTeleBert:
 # ----------------------------------------------------------------------
 # Training-state snapshots (checkpoint/resume for the training runtime)
 # ----------------------------------------------------------------------
-def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
-    """Durably write ``data`` to ``path``: temp file + fsync + rename.
-
-    The temporary file is created in the destination directory so the final
-    :func:`os.replace` is a same-filesystem atomic rename; the directory is
-    fsynced afterwards so the rename itself survives a power loss.  Readers
-    therefore always see either the previous complete file or the new
-    complete file, never a partial write.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
-                                    prefix=f".{path.name}.tmp-")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    dir_fd = os.open(path.parent, os.O_RDONLY)
-    try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)
-    return path
-
-
 @dataclass
 class TrainState:
     """A full mid-run snapshot: weights + optimizer moments + loop state.

@@ -28,8 +28,10 @@ from repro.numeric.losses import NumericLossComputer, NumericLossOutput
 from repro.numeric.normalization import TagNormalizer
 from repro.prompts.templates import (
     ALL_PROMPT_TOKENS,
+    ENT,
     EXTENSION_PROMPT_TOKENS,
     NUM,
+    REL,
 )
 from repro.tensor import functional as F
 from repro.tensor import no_grad
@@ -272,13 +274,13 @@ class KTeleBert:
         n = len(rows[0].negatives)
         if any(len(r.negatives) != n for r in rows) or n == 0:
             raise ValueError("every triple needs the same, nonzero negative count")
-        head = self._cls([f"[ENT] {r.head}" for r in rows])
-        tail = self._cls([f"[ENT] {r.tail}" for r in rows])
-        relation = self._cls([f"[REL] {r.relation}" for r in rows])
+        head = self._cls([f"{ENT} {r.head}" for r in rows])
+        tail = self._cls([f"{ENT} {r.tail}" for r in rows])
+        relation = self._cls([f"{REL} {r.relation}" for r in rows])
         d = head.shape[-1]
-        neg_heads = self._cls([f"[ENT] {h}" for r in rows
+        neg_heads = self._cls([f"{ENT} {h}" for r in rows
                                for h, _ in r.negatives]).reshape(len(rows), n, d)
-        neg_tails = self._cls([f"[ENT] {t}" for r in rows
+        neg_tails = self._cls([f"{ENT} {t}" for r in rows
                                for _, t in r.negatives]).reshape(len(rows), n, d)
         neg_rel = relation.expand_dims(1)  # broadcast over corruptions
         return self.ke_objective.loss(head, relation, tail,

@@ -40,9 +40,15 @@ import time
 
 import numpy as np
 
+from repro.serving import metric_names as mn
 from repro.serving.deadline import Deadline, DeadlineExceeded, FlushTimeout
 from repro.serving.metrics import MetricsRegistry
 from repro.service.providers import EmbeddingProvider
+
+#: Idle-worker wake interval.  The worker parks on the condition variable
+#: when the queue is empty; waking every ``_IDLE_WAKE_S`` bounds the wait
+#: so shutdown (or a missed notify) can never wedge it forever.
+_IDLE_WAKE_S = 0.5
 
 
 class _Pending:
@@ -147,8 +153,8 @@ class MicroBatcher:
                     self._pending[name] = entry
                 entry.waiters += 1
                 entries[name] = entry
-            self.metrics.counter("serving.batcher.requests").inc()
-            self.metrics.gauge("serving.batcher.queue_depth").set(
+            self.metrics.counter(mn.BATCHER_REQUESTS).inc()
+            self.metrics.gauge(mn.BATCHER_QUEUE_DEPTH).set(
                 len(self._pending))
             self._cond.notify_all()
         try:
@@ -186,11 +192,11 @@ class MicroBatcher:
                     del self._pending[name]
                     dropped += 1
             if dropped:
-                self.metrics.gauge("serving.batcher.queue_depth").set(
+                self.metrics.gauge(mn.BATCHER_QUEUE_DEPTH).set(
                     len(self._pending))
-        self.metrics.counter("serving.abandoned_waits").inc()
+        self.metrics.counter(mn.SERVING_ABANDONED_WAITS).inc()
         if dropped:
-            self.metrics.counter("serving.batcher.dropped_names").inc(
+            self.metrics.counter(mn.BATCHER_DROPPED_NAMES).inc(
                 dropped)
 
     # Provider-interface alias so the batcher composes with decorators.
@@ -214,14 +220,17 @@ class MicroBatcher:
                         for name in list(self._pending)[:self.max_batch_size]:
                             batch[name] = self._pending.pop(name)
                         self.metrics.gauge(
-                            "serving.batcher.queue_depth").set(
+                            mn.BATCHER_QUEUE_DEPTH).set(
                             len(self._pending))
                         return batch
                     self._cond.wait(timeout=deadline - now)
                 elif self._closed:
                     return None
                 else:
-                    self._cond.wait()
+                    # Bounded idle park: a periodic wake costs one loop
+                    # re-check; an unbounded wait() would rely on every
+                    # state change remembering to notify.
+                    self._cond.wait(timeout=_IDLE_WAKE_S)
 
     def _run(self) -> None:
         while True:
@@ -248,7 +257,7 @@ class MicroBatcher:
                 self._fail_batch(batch, FlushTimeout(
                     f"provider has {self.max_hung_flushes} hung flush(es) "
                     f"outstanding; failing fast"))
-                self.metrics.counter("serving.batcher.fast_fails").inc()
+                self.metrics.counter(mn.BATCHER_FAST_FAILS).inc()
                 self.metrics.emit("flush_fast_fail", names=len(names))
                 return
             thread = threading.Thread(target=self._call_provider,
@@ -267,16 +276,16 @@ class MicroBatcher:
                     with self._cond:
                         self._hung_flushes += 1
                         hung = self._hung_flushes
-                    self.metrics.counter("serving.hung_flushes").inc()
+                    self.metrics.counter(mn.SERVING_HUNG_FLUSHES).inc()
                     self.metrics.gauge(
-                        "serving.batcher.hung_flush_threads").set(hung)
+                        mn.BATCHER_HUNG_FLUSH_THREADS).set(hung)
                     self.metrics.emit("hung_flush", names=len(names),
                                       timeout_s=self.flush_timeout_s)
                     return
                 # Completed in the race window: fall through and apply.
         if flush.error is not None:
             self._fail_batch(batch, flush.error)
-            self.metrics.counter("serving.batcher.errors").inc()
+            self.metrics.counter(mn.BATCHER_ERRORS).inc()
             self.metrics.emit("batch_error", names=len(names),
                               error=repr(flush.error))
             return
@@ -285,16 +294,16 @@ class MicroBatcher:
             batch[name].done.set()
         self.batches_flushed += 1
         self.names_encoded += len(names)
-        self.metrics.counter("serving.batcher.batches").inc()
-        self.metrics.counter("serving.batcher.names").inc(len(names))
-        self.metrics.histogram("serving.batcher.batch_size").observe(
+        self.metrics.counter(mn.BATCHER_BATCHES).inc()
+        self.metrics.counter(mn.BATCHER_NAMES).inc(len(names))
+        self.metrics.histogram(mn.BATCHER_BATCH_SIZE).observe(
             len(names))
 
     def _call_provider(self, flush: _Flush) -> None:
         """Run the provider call; first of worker/watchdog claims the
         outcome, so a late result after abandonment is discarded."""
         try:
-            with self.metrics.time("serving.batcher.flush_latency"):
+            with self.metrics.time(mn.BATCHER_FLUSH_LATENCY):
                 vectors = self.provider.encode_names(flush.names)
             error = None
         except BaseException as caught:  # propagate to every waiter
@@ -313,8 +322,8 @@ class MicroBatcher:
                 self._hung_flushes = max(0, self._hung_flushes - 1)
                 hung = self._hung_flushes
             self.metrics.gauge(
-                "serving.batcher.hung_flush_threads").set(hung)
-            self.metrics.counter("serving.batcher.recovered_flushes").inc()
+                mn.BATCHER_HUNG_FLUSH_THREADS).set(hung)
+            self.metrics.counter(mn.BATCHER_RECOVERED_FLUSHES).inc()
 
     @staticmethod
     def _fail_batch(batch: dict[str, _Pending],

@@ -21,6 +21,8 @@ import time
 from pathlib import Path
 from typing import Callable, Iterable
 
+from repro.serving import metric_names as mn
+
 
 class Counter:
     """Monotonically increasing count (requests, cache hits, fallbacks)."""
@@ -280,17 +282,17 @@ def replay_journal(path: str | Path,
             continue
         kind = event.get("kind")
         if kind == "step":
-            registry.counter("train.steps").inc()
-            registry.counter("train.tokens").inc(int(event.get("tokens", 0)))
-            registry.histogram("train.loss").observe(
+            registry.counter(mn.TRAIN_STEPS).inc()
+            registry.counter(mn.TRAIN_TOKENS).inc(int(event.get("tokens", 0)))
+            registry.histogram(mn.TRAIN_LOSS).observe(
                 float(event.get("loss", 0.0)))
-            registry.histogram("train.tokens_per_sec").observe(
+            registry.histogram(mn.TRAIN_TOKENS_PER_SEC).observe(
                 float(event.get("tokens_per_sec", 0.0)))
-            registry.histogram("train.step_wall_s").observe(
+            registry.histogram(mn.TRAIN_STEP_WALL_S).observe(
                 float(event.get("wall_s", 0.0)))
-            registry.gauge("train.step").set(int(event.get("step", 0)))
+            registry.gauge(mn.TRAIN_STEP).set(int(event.get("step", 0)))
         elif kind:
-            registry.counter(f"train.events.{kind}").inc()
+            registry.counter(mn.train_event(kind)).inc()
             registry.emit(kind,
                           **{k: v for k, v in event.items() if k != "kind"})
     return registry

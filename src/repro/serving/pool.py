@@ -30,10 +30,16 @@ from __future__ import annotations
 import queue
 import threading
 
+from repro.serving import metric_names as mn
 from repro.serving.deadline import CancellationToken, CancelledError
 from repro.serving.metrics import MetricsRegistry
 
 _STOP = object()
+
+#: Idle-worker poll interval on the job queue.  Waking to re-check costs
+#: a loop iteration; an unbounded ``get()`` would park the worker with no
+#: way to bound the wait if a sentinel is ever lost.
+_QUEUE_POLL_S = 0.5
 
 
 class Job:
@@ -140,14 +146,14 @@ class CancellableWorkerPool:
             # and restore capacity with a fresh thread (bounded).
             with self._lock:
                 self._hung += 1
-                self.metrics.gauge("serving.pool.hung_threads").set(
+                self.metrics.gauge(mn.POOL_HUNG_THREADS).set(
                     self._hung)
                 if (self._alive - self._hung < self.max_workers
                         and self._alive < self.max_total_threads
                         and not self._closed):
                     self._spawn_locked()
                     self.metrics.counter(
-                        "serving.pool.replacements").inc()
+                        mn.POOL_REPLACEMENTS).inc()
 
     def stats(self) -> dict:
         """Live thread accounting (feeds tests and the stats dump)."""
@@ -174,7 +180,10 @@ class CancellableWorkerPool:
 
     def _work(self) -> None:
         while True:
-            item = self._queue.get()
+            try:
+                item = self._queue.get(timeout=_QUEUE_POLL_S)
+            except queue.Empty:
+                continue
             if item is _STOP:
                 with self._lock:
                     self._alive -= 1
@@ -186,7 +195,7 @@ class CancellableWorkerPool:
                     # thread for real work.
                     job.error = CancelledError("job cancelled before start")
                     job.done.set()
-                    self.metrics.counter("serving.pool.skipped").inc()
+                    self.metrics.counter(mn.POOL_SKIPPED).inc()
                     continue
                 job.started = True
             try:
@@ -205,11 +214,11 @@ class CancellableWorkerPool:
                 # This worker was written off as hung but recovered.
                 with self._lock:
                     self._hung = max(0, self._hung - 1)
-                    self.metrics.gauge("serving.pool.hung_threads").set(
+                    self.metrics.gauge(mn.POOL_HUNG_THREADS).set(
                         self._hung)
             job.done.set()
         if abandoned:
-            self.metrics.counter("serving.pool.recovered").inc()
+            self.metrics.counter(mn.POOL_RECOVERED).inc()
         return abandoned
 
     def _retire_surplus(self) -> bool:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 from typing import IO
 
+from repro.serving import metric_names as mn
 from repro.serving.service import FaultAnalysisService
 
 
@@ -140,7 +141,7 @@ def serve_loop(service: FaultAnalysisService, input_stream: IO[str],
                 raise ValueError("request must be a JSON object")
             response = handle_request(service, request)
         except Exception as error:  # noqa: BLE001 — reported, loop survives
-            service.metrics.counter("serving.bad_requests").inc()
+            service.metrics.counter(mn.SERVING_BAD_REQUESTS).inc()
             service.metrics.emit("bad_request", error=repr(error))
             response = {"ok": False, "error": repr(error)}
         served += 1

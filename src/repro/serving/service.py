@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.serving import metric_names as mn
 from repro.serving.batcher import MicroBatcher
 from repro.serving.deadline import (
     CancellationToken,
@@ -195,19 +196,19 @@ class FaultAnalysisService:
         budget cooperatively and release their thread, others are bounded
         by the external wait and written off as hung if they overrun.
         """
-        self.metrics.counter("serving.requests").inc()
-        self.metrics.counter(f"serving.requests.{op}").inc()
+        self.metrics.counter(mn.SERVING_REQUESTS).inc()
+        self.metrics.counter(mn.requests_for(op)).inc()
         attempts = self.config.max_retries + 1
         overall = Deadline.after(self.config.total_budget_s())
         last_error: BaseException | None = None
-        with self.metrics.time("serving.latency"):
+        with self.metrics.time(mn.SERVING_LATENCY):
             for attempt in range(attempts):
                 remaining = overall.remaining()
                 if remaining <= 0:
                     # Budget already spent (e.g. by earlier slow attempts
                     # plus backoff): degrade now instead of queueing more
                     # work behind a stuck provider.
-                    self.metrics.counter("serving.budget_exhausted").inc()
+                    self.metrics.counter(mn.SERVING_BUDGET_EXHAUSTED).inc()
                     break
                 deadline = Deadline.after(
                     min(self.config.timeout_s, remaining))
@@ -221,32 +222,33 @@ class FaultAnalysisService:
                     last_error = DeadlineExceeded(
                         f"{op} attempt exceeded "
                         f"{self.config.timeout_s:g}s")
-                    self.metrics.counter("serving.timeouts").inc()
+                    self.metrics.counter(mn.SERVING_TIMEOUTS).inc()
                     self.metrics.emit("timeout", op=op, attempt=attempt)
                 else:
                     try:
-                        with self.metrics.time(f"serving.latency.{op}"):
+                        with self.metrics.time(mn.latency_for(op)):
+                            # repro-lint: allow[RL002] wait() above already bounded this attempt; result() raises unless the job settled
                             result = job.result()
                         self.metrics.histogram(
-                            "serving.deadline_remaining").observe(
+                            mn.SERVING_DEADLINE_REMAINING).observe(
                             overall.remaining())
                         return result
                     except (DeadlineExceeded, FlushTimeout) as error:
                         last_error = error
-                        self.metrics.counter("serving.timeouts").inc()
+                        self.metrics.counter(mn.SERVING_TIMEOUTS).inc()
                         self.metrics.emit("timeout", op=op, attempt=attempt,
                                           error=repr(error))
                     except Exception as error:  # noqa: BLE001 — retried
                         last_error = error
-                        self.metrics.counter("serving.errors").inc()
+                        self.metrics.counter(mn.SERVING_ERRORS).inc()
                         self.metrics.emit("error", op=op, attempt=attempt,
                                           error=repr(error))
                 if attempt < attempts - 1:
-                    self.metrics.counter("serving.retries").inc()
+                    self.metrics.counter(mn.SERVING_RETRIES).inc()
                     backoff = self.config.backoff_s * (2 ** attempt)
                     time.sleep(min(backoff, overall.remaining()))
             if fallback is not None:
-                self.metrics.counter("serving.fallbacks").inc()
+                self.metrics.counter(mn.SERVING_FALLBACKS).inc()
                 self.metrics.emit("fallback", op=op)
                 return fallback()
             raise ServingError(
@@ -271,14 +273,25 @@ class FaultAnalysisService:
     # Fault-analysis calls
     # ------------------------------------------------------------------
     def _fitted(self, adapter, op: str):
-        """Fit ``adapter`` on first use (embeddings via this service)."""
+        """Fit ``adapter`` on first use (embeddings via this service).
+
+        The embed runs *outside* ``_fit_lock`` (double-checked): a slow or
+        hung first encode must not serialize every other task call behind
+        the lock.  Concurrent first calls may both pay for the embed; the
+        re-check under the lock makes exactly one of them fit the adapter
+        (same liveness-over-dedup trade as ``CachedProvider``).
+        """
         if adapter is None:
             raise ValueError(f"no {op} adapter configured on this service")
         with self._fit_lock:
-            if not adapter.fitted:
-                with self.metrics.time(f"serving.fit.{op}"):
-                    adapter.fit(self.embed(adapter.event_names))
-                self.metrics.emit("adapter_fitted", op=op)
+            if adapter.fitted:
+                return adapter
+        with self.metrics.time(mn.fit_for(op)):
+            vectors = self.embed(adapter.event_names)
+            with self._fit_lock:
+                if not adapter.fitted:
+                    adapter.fit(vectors)
+                    self.metrics.emit("adapter_fitted", op=op)
         return adapter
 
     def rank_root_causes(self, state, top_k: int | None = None
@@ -310,10 +323,10 @@ class FaultAnalysisService:
         snapshot = self.metrics.snapshot()
         tiers = [self._cache.stats()] if hasattr(self._cache, "stats") else []
         latency = snapshot["histograms"].get(
-            "serving.latency", {"count": 0, "mean": 0.0,
-                                "p50": 0.0, "p95": 0.0, "p99": 0.0})
+            mn.SERVING_LATENCY, {"count": 0, "mean": 0.0,
+                                 "p50": 0.0, "p95": 0.0, "p99": 0.0})
         return {
-            "requests": snapshot["counters"].get("serving.requests", 0),
+            "requests": snapshot["counters"].get(mn.SERVING_REQUESTS, 0),
             "cache": merge_hit_stats(tiers),
             "latency": latency,
             "batcher": self.batcher.stats(),

@@ -7,6 +7,8 @@ from collections import Counter
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.ioutil import atomic_write_text
+
 PAD = "[PAD]"
 UNK = "[UNK]"
 CLS = "[CLS]"
@@ -134,7 +136,7 @@ class Vocab:
     def save(self, path: str | Path) -> None:
         payload = {"tokens": self._id_to_token,
                    "special": sorted(self._special)}
-        Path(path).write_text(json.dumps(payload, ensure_ascii=False))
+        atomic_write_text(path, json.dumps(payload, ensure_ascii=False))
 
     @classmethod
     def load(cls, path: str | Path) -> "Vocab":

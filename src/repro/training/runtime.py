@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import signal
 import time
 import traceback
@@ -92,6 +93,7 @@ class RunJournal:
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(event, ensure_ascii=False) + "\n")
             handle.flush()
+            os.fsync(handle.fileno())
         return event
 
     def events(self) -> list[dict]:

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -68,3 +69,38 @@ class TestEncodeRoundTrip:
         payload = json.loads(line)
         assert payload["text"].startswith("[ALM]")
         assert len(payload["embedding"]) == 32
+
+
+class TestLint:
+    """``python -m repro lint`` forwards to the repro.lint driver."""
+
+    ROOT = Path(__file__).resolve().parents[1]
+
+    def test_parser_has_lint_subcommand(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+
+    def test_clean_tree_exits_zero(self, capsys):
+        code = main(["lint", "--root", str(self.ROOT),
+                     "--baseline", str(self.ROOT / "tools" /
+                                       "lint_baseline.json")])
+        assert code == 0
+        assert "repro-lint:" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RL001" in out and "RL007" in out
+
+    def test_json_format(self, capsys):
+        code = main(["lint", "--root", str(self.ROOT), "--format", "json",
+                     str(self.ROOT / "src" / "repro" / "lint")])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new_errors"] == 0
+
+    def test_unknown_rule_code_is_usage_error(self, capsys):
+        code = main(["lint", "--root", str(self.ROOT), "--select", "RL998",
+                     str(self.ROOT / "src" / "repro" / "lint")])
+        assert code == 2
+        assert "RL998" in capsys.readouterr().err

@@ -91,3 +91,37 @@ class TestPipelineDeterminism:
         vb = b.ktelebert_stl.encode_texts(["[ALM] The link is down"])
         assert va.shape == vb.shape
         assert not np.allclose(va, vb)
+
+
+class TestGlobalRngIsolation:
+    """RL005's runtime counterpart: library code must not draw from (or
+    reseed) the process-global RNG streams — hidden global state is
+    exactly what breaks the bit-exact resume guarantee of
+    :mod:`repro.training.runtime`."""
+
+    def test_pipeline_leaves_global_numpy_rng_untouched(self):
+        np.random.seed(1234)
+        before = np.random.get_state()
+        world = TelecomWorld.generate(seed=5)
+        corpus = build_tele_corpus(world, seed=5)
+        build_tele_kg(world)
+        world.simulate_episodes(3)
+        trainer = TeleBertTrainer(corpus.sentences, seed=5, d_model=16,
+                                  num_layers=1, num_heads=2, d_ff=32,
+                                  max_len=16)
+        trainer.train(steps=2)
+        after = np.random.get_state()
+        assert before[0] == after[0]
+        assert np.array_equal(before[1], after[1])
+        assert before[2:] == after[2:]
+
+    def test_pipeline_leaves_global_stdlib_rng_untouched(self):
+        import random
+
+        random.seed(1234)
+        before = random.getstate()
+        world = TelecomWorld.generate(seed=5)
+        build_stage2_data(build_tele_corpus(world, seed=5),
+                          world.simulate_episodes(3),
+                          build_tele_kg(world), seed=5, ke_negatives=2)
+        assert random.getstate() == before

@@ -1,0 +1,672 @@
+"""Tests for :mod:`repro.lint` — rules, suppressions, baseline, CLI.
+
+Fixture snippets are analysed with injected repo-relative paths
+(``analyze_source(source, rel)``), so a fixture can be placed inside or
+outside a rule's scope without touching the real tree.  The meta-test at
+the bottom holds the live ``src/repro`` tree to the committed baseline.
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    RULES,
+    Baseline,
+    LintConfig,
+    analyze_paths,
+    analyze_source,
+    lint_main,
+    load_baseline,
+    rule,
+    save_baseline,
+)
+from repro.lint.baseline import BaselineEntry
+from repro.lint.core import FRAMEWORK_CODE
+
+ROOT = Path(__file__).resolve().parents[1]
+BASELINE_PATH = ROOT / "tools" / "lint_baseline.json"
+
+SERVING_REL = "src/repro/serving/fixture.py"
+MODELS_REL = "src/repro/models/fixture.py"
+OTHER_REL = "src/repro/analysis/fixture.py"
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+def lint(source, rel=OTHER_REL, select=None):
+    return analyze_source(source, rel, select=select)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_seven_rules_registered(self):
+        assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+                "RL007"} <= set(RULES)
+
+    def test_rules_carry_metadata(self):
+        for meta in RULES.values():
+            assert meta.title
+            assert meta.rationale, f"{meta.code} has no rationale"
+            assert meta.severity in ("error", "warning")
+
+    def test_duplicate_code_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            rule("RL001", "again")(lambda ctx: [])
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            rule("RL999", "x", severity="fatal")
+
+    def test_unknown_select_rejected(self):
+        with pytest.raises(ValueError, match="RL998"):
+            lint("x = 1", select=["RL998"])
+
+
+# ----------------------------------------------------------------------
+# RL001 — blocking call in a lock
+# ----------------------------------------------------------------------
+RL001_BAD = """
+def f(self):
+    with self._lock:
+        return self.provider.encode(["a"])
+"""
+
+RL001_COND_WAIT_OK = """
+def f(self):
+    with self._cond:
+        self._cond.wait(timeout=1.0)
+"""
+
+RL001_DICT_GET_OK = """
+def f(self):
+    with self._lock:
+        return self._pending.get("name")
+"""
+
+RL001_STR_JOIN_OK = """
+def f(self):
+    with self._lock:
+        return ", ".join(self.names)
+"""
+
+RL001_STR_ENCODE_OK = """
+import json
+def f(self):
+    with self._lock:
+        self.buf += json.dumps({}).encode("utf-8")
+        self.tag = "x".encode("utf-8")
+"""
+
+RL001_NESTED_DEF_OK = """
+def f(self):
+    with self._lock:
+        def later():
+            return self.queue.get()
+        return later
+"""
+
+RL001_THREAD_JOIN_BAD = """
+def f(self):
+    with self._lock:
+        self.worker_thread.join()
+"""
+
+
+class TestRL001:
+    def test_encode_in_lock_flagged(self):
+        assert codes(lint(RL001_BAD, select=["RL001"])) == ["RL001"]
+
+    def test_thread_join_in_lock_flagged(self):
+        assert codes(lint(RL001_THREAD_JOIN_BAD,
+                          select=["RL001"])) == ["RL001"]
+
+    @pytest.mark.parametrize("source", [
+        RL001_COND_WAIT_OK, RL001_DICT_GET_OK, RL001_STR_JOIN_OK,
+        RL001_STR_ENCODE_OK, RL001_NESTED_DEF_OK,
+    ], ids=["cond-wait", "dict-get", "str-join", "str-encode",
+            "nested-def"])
+    def test_exemptions(self, source):
+        assert lint(source, select=["RL001"]) == []
+
+    def test_suppression(self):
+        suppressed = RL001_BAD.replace(
+            "return self.provider.encode([\"a\"])",
+            "return self.provider.encode([\"a\"])  "
+            "# repro-lint: allow[RL001] bounded by the flush watchdog")
+        assert lint(suppressed, select=["RL001"]) == []
+
+
+# ----------------------------------------------------------------------
+# RL002 — unbounded waits in serving/training scope
+# ----------------------------------------------------------------------
+RL002_BAD = """
+def f(self):
+    self.event.wait()
+    item = self.queue.get()
+"""
+
+
+class TestRL002:
+    def test_flagged_in_scope(self):
+        assert codes(lint(RL002_BAD, rel=SERVING_REL,
+                          select=["RL002"])) == ["RL002", "RL002"]
+
+    def test_out_of_scope_ignored(self):
+        assert lint(RL002_BAD, rel=OTHER_REL, select=["RL002"]) == []
+
+    def test_timeout_argument_accepted(self):
+        ok = "def f(self):\n    self.event.wait(timeout=2.0)\n"
+        assert lint(ok, rel=SERVING_REL, select=["RL002"]) == []
+
+    def test_suppression(self):
+        suppressed = RL002_BAD.replace(
+            "self.event.wait()",
+            "self.event.wait()  # repro-lint: allow[RL002] event is "
+            "always set before this point")
+        assert codes(lint(suppressed, rel=SERVING_REL,
+                          select=["RL002"])) == ["RL002"]
+
+
+# ----------------------------------------------------------------------
+# RL003 — non-daemon threads
+# ----------------------------------------------------------------------
+RL003_BAD = """
+import threading
+def f():
+    return threading.Thread(target=f)
+"""
+
+RL003_FALSE_BAD = """
+import threading
+def f():
+    return threading.Thread(target=f, daemon=False)
+"""
+
+RL003_OK = """
+import threading
+def f():
+    return threading.Thread(target=f, daemon=True)
+"""
+
+RL003_ALIASED_BAD = """
+from threading import Thread
+def f():
+    return Thread(target=f)
+"""
+
+
+class TestRL003:
+    def test_missing_daemon_flagged(self):
+        assert codes(lint(RL003_BAD, select=["RL003"])) == ["RL003"]
+
+    def test_daemon_false_flagged(self):
+        assert codes(lint(RL003_FALSE_BAD, select=["RL003"])) == ["RL003"]
+
+    def test_aliased_import_flagged(self):
+        assert codes(lint(RL003_ALIASED_BAD, select=["RL003"])) == ["RL003"]
+
+    def test_daemon_true_accepted(self):
+        assert lint(RL003_OK, select=["RL003"]) == []
+
+    def test_suppression(self):
+        suppressed = RL003_BAD.replace(
+            "return threading.Thread(target=f)",
+            "# repro-lint: allow[RL003] joined explicitly in close()\n"
+            "    return threading.Thread(target=f)")
+        assert lint(suppressed, select=["RL003"]) == []
+
+
+# ----------------------------------------------------------------------
+# RL004 — non-atomic writes in checkpoint/store scope
+# ----------------------------------------------------------------------
+RL004_BAD = """
+import json
+import numpy as np
+from pathlib import Path
+
+def save(path, meta, arrays):
+    Path(path).write_text(json.dumps(meta))
+    with open(path, "w") as handle:
+        handle.write("x")
+    np.savez(path, **arrays)
+"""
+
+RL004_OK = """
+import io
+import numpy as np
+from repro.ioutil import atomic_write_bytes
+
+def save(path, arrays, record):
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    atomic_write_bytes(path, buffer.getvalue())
+    with open(path, "a", encoding="utf-8") as handle:  # append-only log
+        handle.write(record)
+"""
+
+RL004_IMPL_OK = """
+import os
+def atomic_write_text(path, text):
+    with open(path, "w") as handle:
+        handle.write(text)
+"""
+
+
+class TestRL004:
+    def test_truncating_writes_flagged(self):
+        found = codes(lint(RL004_BAD, rel=MODELS_REL, select=["RL004"]))
+        assert found == ["RL004", "RL004", "RL004"]
+
+    def test_out_of_scope_ignored(self):
+        assert lint(RL004_BAD, rel=OTHER_REL, select=["RL004"]) == []
+
+    def test_atomic_pattern_accepted(self):
+        assert lint(RL004_OK, rel=MODELS_REL, select=["RL004"]) == []
+
+    def test_atomic_impl_function_exempt(self):
+        assert lint(RL004_IMPL_OK, rel=MODELS_REL, select=["RL004"]) == []
+
+    def test_suppression(self):
+        suppressed = RL004_BAD.replace(
+            "Path(path).write_text(json.dumps(meta))",
+            "Path(path).write_text(json.dumps(meta))  "
+            "# repro-lint: allow[RL004] scratch file, never reloaded")
+        assert codes(lint(suppressed, rel=MODELS_REL,
+                          select=["RL004"])) == ["RL004", "RL004"]
+
+
+# ----------------------------------------------------------------------
+# RL005 — global RNG
+# ----------------------------------------------------------------------
+RL005_BAD = """
+import random
+import numpy as np
+
+def f():
+    random.shuffle([1, 2])
+    np.random.seed(0)
+    return np.random.normal(size=3)
+"""
+
+RL005_OK = """
+import numpy as np
+import random
+
+def f(seed):
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    return rng.normal(size=3), local.random()
+"""
+
+RL005_FROM_IMPORT_BAD = """
+from numpy.random import rand
+from random import shuffle
+"""
+
+
+class TestRL005:
+    def test_global_calls_flagged(self):
+        assert codes(lint(RL005_BAD, select=["RL005"])) == \
+            ["RL005", "RL005", "RL005"]
+
+    def test_seeded_generators_accepted(self):
+        assert lint(RL005_OK, select=["RL005"]) == []
+
+    def test_from_imports_flagged(self):
+        assert codes(lint(RL005_FROM_IMPORT_BAD,
+                          select=["RL005"])) == ["RL005", "RL005"]
+
+    def test_suppression(self):
+        suppressed = RL005_BAD.replace(
+            "np.random.seed(0)",
+            "np.random.seed(0)  # repro-lint: allow[RL005] test-only "
+            "harness seeding")
+        assert codes(lint(suppressed, select=["RL005"])) == \
+            ["RL005", "RL005"]
+
+
+# ----------------------------------------------------------------------
+# RL006 — silent broad excepts
+# ----------------------------------------------------------------------
+RL006_BARE = """
+def f():
+    try:
+        g()
+    except:
+        pass
+"""
+
+RL006_SILENT = """
+def f():
+    try:
+        g()
+    except Exception:
+        pass
+"""
+
+RL006_LOGGED_OK = """
+def f(self):
+    try:
+        g()
+    except Exception as error:
+        self.metrics.emit("error", error=repr(error))
+"""
+
+RL006_RERAISE_OK = """
+def f():
+    try:
+        g()
+    except Exception:
+        raise
+"""
+
+RL006_NAME_USED_OK = """
+def f(self):
+    try:
+        g()
+    except BaseException as caught:
+        self.error = caught
+"""
+
+RL006_NARROW_OK = """
+def f():
+    try:
+        g()
+    except (OSError, ValueError):
+        pass
+"""
+
+
+class TestRL006:
+    def test_bare_except_flagged(self):
+        assert codes(lint(RL006_BARE, select=["RL006"])) == ["RL006"]
+
+    def test_silent_broad_except_flagged(self):
+        assert codes(lint(RL006_SILENT, select=["RL006"])) == ["RL006"]
+
+    @pytest.mark.parametrize("source", [
+        RL006_LOGGED_OK, RL006_RERAISE_OK, RL006_NAME_USED_OK,
+        RL006_NARROW_OK,
+    ], ids=["logged", "reraise", "name-used", "narrow"])
+    def test_exemptions(self, source):
+        assert lint(source, select=["RL006"]) == []
+
+    def test_suppression(self):
+        suppressed = RL006_SILENT.replace(
+            "except Exception:",
+            "except Exception:  # repro-lint: allow[RL006] best-effort "
+            "cleanup, failure is fine")
+        assert lint(suppressed, select=["RL006"]) == []
+
+
+# ----------------------------------------------------------------------
+# RL007 — metric-name / prompt-token drift
+# ----------------------------------------------------------------------
+RL007_METRIC_BAD = """
+def f(metrics):
+    metrics.counter("serving.requests").inc()
+    metrics.counter(f"serving.latency.{0}").inc()
+"""
+
+RL007_TOKEN_BAD = """
+def f(name):
+    return f"[ENT] {name}"
+"""
+
+RL007_SEPARATOR_BAD = """
+def f(parts):
+    return "|".join(parts)
+"""
+
+RL007_DOCSTRING_OK = '''
+def f():
+    """Wraps entities in the [ENT] format, e.g. serving.requests."""
+    return None
+'''
+
+
+class TestRL007:
+    def test_metric_literal_flagged(self):
+        assert codes(lint(RL007_METRIC_BAD, rel=SERVING_REL,
+                          select=["RL007"])) == ["RL007", "RL007"]
+
+    def test_metric_names_module_exempt(self):
+        assert lint(RL007_METRIC_BAD,
+                    rel="src/repro/serving/metric_names.py",
+                    select=["RL007"]) == []
+
+    def test_prompt_token_flagged(self):
+        assert codes(lint(RL007_TOKEN_BAD, rel=MODELS_REL,
+                          select=["RL007"])) == ["RL007"]
+
+    def test_templates_module_exempt(self):
+        assert lint(RL007_TOKEN_BAD,
+                    rel="src/repro/prompts/templates.py",
+                    select=["RL007"]) == []
+
+    def test_separator_flagged_in_prompt_scope(self):
+        assert codes(lint(RL007_SEPARATOR_BAD,
+                          rel="src/repro/corpus/fixture.py",
+                          select=["RL007"])) == ["RL007"]
+
+    def test_separator_ignored_elsewhere(self):
+        assert lint(RL007_SEPARATOR_BAD, rel=OTHER_REL,
+                    select=["RL007"]) == []
+
+    def test_docstring_mentions_exempt(self):
+        assert lint(RL007_DOCSTRING_OK, rel=MODELS_REL,
+                    select=["RL007"]) == []
+
+    def test_suppression(self):
+        suppressed = RL007_TOKEN_BAD.replace(
+            'return f"[ENT] {name}"',
+            'return f"[ENT] {name}"  # repro-lint: allow[RL007] '
+            'golden-output fixture')
+        assert lint(suppressed, rel=MODELS_REL, select=["RL007"]) == []
+
+
+# ----------------------------------------------------------------------
+# Framework: suppressions, syntax errors, fingerprints
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_suppression_without_reason_is_finding(self):
+        source = "x = 1  # repro-lint: allow[RL005]\n"
+        found = lint(source)
+        assert codes(found) == [FRAMEWORK_CODE]
+        assert "reason" in found[0].message
+
+    def test_malformed_suppression_is_finding(self):
+        source = "x = 1  # repro-lint: disable everything\n"
+        assert codes(lint(source)) == [FRAMEWORK_CODE]
+
+    def test_syntax_error_is_finding(self):
+        assert codes(lint("def broken(:\n")) == [FRAMEWORK_CODE]
+
+    def test_suppression_on_line_above(self):
+        source = ("# repro-lint: allow[RL006] placeholder for a fixture\n"
+                  "try:\n    g()\nexcept Exception:\n    pass\n")
+        # The handler starts on the line after the comment... place it
+        # directly above the except instead.
+        source = ("try:\n    g()\n"
+                  "# repro-lint: allow[RL006] fixture needs the swallow\n"
+                  "except Exception:\n    pass\n")
+        assert lint(source, select=["RL006", FRAMEWORK_CODE]) == []
+
+    def test_fingerprint_survives_line_drift(self):
+        before = lint(RL005_BAD, select=["RL005"])
+        after = lint("\n\n# a new comment\n" + RL005_BAD, select=["RL005"])
+        assert [f.fingerprint for f in before] == \
+            [f.fingerprint for f in after]
+        assert [f.line for f in before] != [f.line for f in after]
+
+    def test_fingerprint_changes_with_line_edit(self):
+        before = lint(RL005_BAD, select=["RL005"])
+        edited = lint(RL005_BAD.replace("np.random.seed(0)",
+                                        "np.random.seed(42)"),
+                      select=["RL005"])
+        assert before[1].fingerprint != edited[1].fingerprint
+
+    def test_finding_dict_schema(self):
+        finding = lint(RL005_BAD, select=["RL005"])[0]
+        payload = finding.to_dict()
+        assert set(payload) == {"rule", "severity", "path", "line", "col",
+                                "message", "line_text", "qualname",
+                                "fingerprint"}
+
+    def test_config_is_injectable(self):
+        config = LintConfig(bounded_wait_scope=("src/repro/analysis/",))
+        found = analyze_source(RL002_BAD, OTHER_REL, config=config,
+                               select=["RL002"])
+        assert codes(found) == ["RL002", "RL002"]
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trips
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = lint(RL005_BAD, select=["RL005"])
+        baseline = Baseline.from_findings(findings, tracking="issue #12")
+        target = tmp_path / "baseline.json"
+        save_baseline(baseline, target)
+        loaded = load_baseline(target)
+        assert loaded.fingerprints == baseline.fingerprints
+        assert all(e.tracking == "issue #12" for e in loaded.entries)
+
+    def test_partition(self):
+        findings = lint(RL005_BAD, select=["RL005"])
+        baseline = Baseline.from_findings(findings[:1])
+        new, baselined, stale = baseline.partition(findings)
+        assert len(new) == 2 and len(baselined) == 1 and stale == []
+
+    def test_stale_entries_reported(self):
+        findings = lint(RL005_BAD, select=["RL005"])
+        baseline = Baseline(entries=[BaselineEntry(
+            fingerprint="deadbeefdeadbeef", rule="RL005",
+            path="src/gone.py", tracking="was fixed")])
+        new, baselined, stale = baseline.partition(findings)
+        assert len(new) == 3 and baselined == [] and len(stale) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json").entries == []
+
+    def test_bad_version_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(target)
+
+    def test_empty_tracking_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 1, "entries": [
+            {"fingerprint": "ab", "rule": "RL001", "path": "x.py",
+             "tracking": "  "}]}))
+        with pytest.raises(ValueError, match="tracking"):
+            load_baseline(target)
+
+
+# ----------------------------------------------------------------------
+# CLI driver
+# ----------------------------------------------------------------------
+def run_cli(args, tree=None):
+    out, err = io.StringIO(), io.StringIO()
+    code = lint_main(args, stdout=out, stderr=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+class TestCli:
+    @pytest.fixture
+    def dirty_tree(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        pkg = tmp_path / "src" / "repro" / "analysis"
+        pkg.mkdir(parents=True)
+        (pkg / "dirty.py").write_text(RL005_BAD)
+        return tmp_path
+
+    def test_exit_1_on_new_error(self, dirty_tree):
+        code, out, _ = run_cli(["--root", str(dirty_tree),
+                                str(dirty_tree / "src")])
+        assert code == 1
+        assert "RL005" in out
+
+    def test_exit_0_with_baseline(self, dirty_tree):
+        code, _, _ = run_cli(["--root", str(dirty_tree),
+                              "--baseline", "baseline.json",
+                              "--update-baseline",
+                              str(dirty_tree / "src")])
+        assert code == 0
+        code, out, _ = run_cli(["--root", str(dirty_tree),
+                                "--baseline", "baseline.json",
+                                str(dirty_tree / "src")])
+        assert code == 0
+        assert "(baselined)" in out
+
+    def test_update_prunes_stale_entries(self, dirty_tree):
+        baseline = dirty_tree / "baseline.json"
+        run_cli(["--root", str(dirty_tree), "--baseline", str(baseline),
+                 "--update-baseline", str(dirty_tree / "src")])
+        (dirty_tree / "src" / "repro" / "analysis" / "dirty.py"
+         ).write_text("x = 1\n")
+        code, out, _ = run_cli(["--root", str(dirty_tree),
+                                "--baseline", str(baseline),
+                                str(dirty_tree / "src")])
+        assert code == 0 and "stale" in out
+        run_cli(["--root", str(dirty_tree), "--baseline", str(baseline),
+                 "--update-baseline", str(dirty_tree / "src")])
+        assert load_baseline(baseline).entries == []
+
+    def test_json_output_schema(self, dirty_tree):
+        code, out, _ = run_cli(["--root", str(dirty_tree),
+                                "--format", "json",
+                                str(dirty_tree / "src")])
+        payload = json.loads(out)
+        assert set(payload) == {"version", "new", "baselined",
+                                "stale_baseline_entries", "summary"}
+        assert payload["summary"]["exit_code"] == code == 1
+        assert payload["new"] and payload["new"][0]["rule"] == "RL005"
+
+    def test_exit_2_on_unknown_select(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        code, _, err = run_cli(["--root", str(tmp_path),
+                                "--select", "RL998", str(tmp_path)])
+        assert code == 2 and "RL998" in err
+
+    def test_exit_2_on_bad_baseline(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        code, _, err = run_cli(["--root", str(tmp_path),
+                                "--baseline", str(bad), str(tmp_path)])
+        assert code == 2 and "baseline" in err
+
+    def test_list_rules(self):
+        code, out, _ = run_cli(["--list-rules"])
+        assert code == 0
+        for code_name in ("RL001", "RL007"):
+            assert code_name in out
+
+
+# ----------------------------------------------------------------------
+# Meta: the live tree is clean modulo the committed baseline
+# ----------------------------------------------------------------------
+class TestLiveTree:
+    def test_src_repro_clean_modulo_baseline(self):
+        findings = analyze_paths([ROOT / "src" / "repro"], root=ROOT)
+        baseline = load_baseline(BASELINE_PATH)
+        new, _, _ = baseline.partition(
+            [f for f in findings if f.severity == "error"])
+        rendered = "\n".join(f.render() for f in new)
+        assert not new, f"new repro-lint findings:\n{rendered}"
+
+    def test_committed_baseline_is_near_empty(self):
+        baseline = load_baseline(BASELINE_PATH)
+        assert len(baseline.entries) <= 5
+        for entry in baseline.entries:
+            assert entry.tracking.strip()

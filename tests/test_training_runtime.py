@@ -98,8 +98,7 @@ class TestAtomicWrite:
         def broken_replace(src, dst):
             raise OSError("disk full")
 
-        monkeypatch.setattr("repro.models.checkpoint.os.replace",
-                            broken_replace)
+        monkeypatch.setattr("repro.ioutil.os.replace", broken_replace)
         with pytest.raises(OSError):
             atomic_write_bytes(target, b"torn")
         monkeypatch.undo()
