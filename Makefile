@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-fast test-slow lint lint-repro bench gradcheck \
-	reproduce report api serve-smoke train-smoke clean
+	reproduce report api serve-smoke serve-net-smoke train-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -61,6 +61,14 @@ serve-smoke:
 	  '{"op": "stats"}' \
 	  | $(PYTHON) -m repro serve --stats --max-wait-ms 2 \
 	  | $(PYTHON) tools/check_serve_smoke.py
+
+# Boot the TCP frontend as a real subprocess, drive a short open-loop
+# mix over the tenant quota with the load generator, and SIGTERM it:
+# asserts zero protocol errors, structured rate-limit rejections, and a
+# clean drain (see tools/run_netserve_smoke.py).  Bounded by timeout so
+# a wedged server fails the step instead of stalling CI.
+serve-net-smoke:
+	timeout 120 $(PYTHON) tools/run_netserve_smoke.py
 
 # Exercise the fault-tolerant training runtime end to end: train two steps,
 # pause (simulated interruption), resume from the snapshot, finish the

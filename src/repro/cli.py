@@ -11,6 +11,15 @@ Commands
 ``serve``      long-lived JSON-lines inference loop over stdin with dynamic
                micro-batching, a persistent embedding store, and a
                ``--stats`` metrics dump (see :mod:`repro.serving`).
+``serve-net``  the same service behind a multi-client TCP socket frontend:
+               per-tenant API keys with token-bucket rate limits and
+               concurrency quotas, admission control with structured
+               ``retry_after_s`` rejections, and graceful drain on
+               SIGTERM (see :mod:`repro.netserve`).
+``loadgen``    open/closed-loop traffic generator against a serve-net
+               endpoint: configurable op mixes, bursty arrivals, latency/
+               fairness reports, and ``--sweep`` latency-vs-load curves
+               (see :mod:`repro.loadgen`).
 ``train``      run stage-2 re-training under the fault-tolerant runtime:
                atomic checkpoint/resume, optional multi-process gradient
                workers, SIGINT/SIGTERM trapped into a final checkpoint,
@@ -33,6 +42,37 @@ def _parse_seeds(raw: str) -> list[int]:
     if not seeds:
         raise argparse.ArgumentTypeError("no seeds given")
     return seeds
+
+
+def _positive_float(raw: str) -> float:
+    """Argparse type for strictly-positive float flags.
+
+    Timeouts, backoffs, and rates silently misbehave at zero or below
+    (a 0s backoff spins, a negative timeout raises deep inside the
+    serving stack) — reject them at the parser with a clear message.
+    """
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {raw!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {raw!r}")
+    return value
+
+
+def _positive_int(raw: str) -> int:
+    """Argparse type for strictly-positive integer flags."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {raw!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {raw!r}")
+    return value
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -137,12 +177,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _build_task_adapters(world_seed: int) -> dict:
+    """Tiny-world rca/eap/fct adapters for checkpoint-free serving.
+
+    The load generator rebuilds the same seeded world to sample request
+    payloads, so generator and server agree on node/alarm names by
+    construction.
+    """
+    from repro.tasks.eap import EapAdapter, build_eap_dataset
+    from repro.tasks.fct import FctAdapter, build_fct_dataset
+    from repro.tasks.rca import RcaAdapter, build_rca_dataset
+    from repro.world import TelecomWorld
+
+    world = TelecomWorld.generate(seed=world_seed, alarms_per_theme=2,
+                                  kpis_per_theme=2, topology_nodes=6)
+    episodes = world.simulate_episodes(30)
+    return {"rca": RcaAdapter(build_rca_dataset(world, episodes), epochs=2),
+            "eap": EapAdapter(build_eap_dataset(world, episodes), epochs=2),
+            "fct": FctAdapter(build_fct_dataset(world, episodes), epochs=3)}
+
+
+def _build_service(args: argparse.Namespace, adapters: dict | None = None):
+    """Construct the FaultAnalysisService shared by serve and serve-net."""
     from repro.serving import (
         FaultAnalysisService,
         MetricsRegistry,
         ServiceConfig,
-        serve_loop,
     )
     from repro.service import RandomProvider, WordEmbeddingProvider
 
@@ -170,10 +230,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            backoff_s=args.backoff,
                            flush_timeout_s=args.flush_timeout,
                            close_timeout_s=args.close_timeout)
-    metrics = MetricsRegistry()
-    with FaultAnalysisService(provider, fallback=fallback, config=config,
-                              metrics=metrics, store_dir=args.store,
-                              fingerprint=fingerprint) as service:
+    return FaultAnalysisService(provider, fallback=fallback, config=config,
+                                metrics=MetricsRegistry(),
+                                store_dir=args.store,
+                                fingerprint=fingerprint,
+                                **(adapters or {}))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import serve_loop
+
+    with _build_service(args) as service:
+        metrics = service.metrics
         serve_loop(service, sys.stdin, sys.stdout)
         if args.stats:
             stats = service.stats()
@@ -186,6 +254,110 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"latency p50: {latency['p50'] * 1000:.3f}ms  "
                   f"p95: {latency['p95'] * 1000:.3f}ms  "
                   f"p99: {latency['p99'] * 1000:.3f}ms", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_net(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.netserve import (
+        AdmissionConfig,
+        AdmissionController,
+        NetServeConfig,
+        TeleServer,
+        TenantRegistry,
+    )
+
+    if args.tenants:
+        tenants = TenantRegistry.from_file(args.tenants)
+    else:
+        tenants = TenantRegistry.single(
+            args.api_key, rate_per_s=args.rate, burst=args.burst,
+            max_concurrency=args.max_concurrency)
+    adapters = _build_task_adapters(args.world_seed) if args.adapters \
+        else None
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    with _build_service(args, adapters=adapters) as service:
+        admission = AdmissionController(
+            AdmissionConfig(max_inflight=args.max_inflight,
+                            max_queue_depth=args.max_queue_depth,
+                            min_headroom_s=args.min_headroom,
+                            retry_after_s=args.retry_after),
+            metrics=service.metrics,
+            queue_depth_fn=lambda: service.batcher.stats()["pending"])
+        config = NetServeConfig(host=args.host, port=args.port,
+                                default_deadline_s=args.default_deadline,
+                                close_timeout_s=args.close_timeout)
+        with TeleServer(service, tenants, admission=admission,
+                        config=config) as server:
+            host, port = server.start()
+            # Parsed by tooling (smoke test, loadgen wrappers) to
+            # discover an ephemeral --port 0 binding; keep the shape.
+            print(f"netserve listening on {host}:{port}", file=sys.stderr,
+                  flush=True)
+            while not stop.wait(0.5):
+                pass
+            print("netserve draining", file=sys.stderr, flush=True)
+            drained = server.drain(args.close_timeout)
+            if not drained:
+                print(f"netserve drain timed out after "
+                      f"{args.close_timeout:g}s", file=sys.stderr,
+                      flush=True)
+        if args.stats:
+            print(service.metrics.render(), file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.loadgen import (
+        LoadgenConfig,
+        parse_mix,
+        render_curve,
+        run_load,
+        sweep,
+    )
+
+    config = LoadgenConfig(
+        host=args.host, port=args.port,
+        api_keys=tuple(args.api_key or ["dev-key"]),
+        mode=args.mode, duration_s=args.duration,
+        rate_per_s=args.rate, workers=args.workers,
+        concurrency=args.concurrency, mix=parse_mix(args.mix),
+        bursty=args.bursty, burst_factor=args.burst_factor,
+        seed=args.seed, world_seed=args.world_seed,
+        timeout_s=args.timeout,
+        deadline_ms=args.deadline_ms)
+    if args.sweep:
+        rates = [float(r) for r in args.sweep.split(",") if r.strip()]
+        if not rates:
+            print("--sweep needs a comma-separated rate list",
+                  file=sys.stderr)
+            return 2
+        reports = sweep(config, rates)
+        print(render_curve(reports))
+        protocol_errors = sum(r.counts["protocol_error"] for r in reports)
+        total = sum(r.total for r in reports)
+    else:
+        report = run_load(config)
+        print(report.render())
+        protocol_errors = report.counts["protocol_error"]
+        total = report.total
+    if total == 0:
+        print("loadgen: no requests completed", file=sys.stderr)
+        return 1
+    if protocol_errors:
+        print(f"loadgen: {protocol_errors} protocol error(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -325,6 +497,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.lint_args)
 
 
+def _add_serve_args(parser: argparse.ArgumentParser) -> None:
+    """Service flags shared by ``serve`` (stdin) and ``serve-net`` (TCP)."""
+    parser.add_argument("--checkpoint", default=None,
+                        help="KTeleBERT checkpoint directory; omit for the "
+                             "deterministic stub encoder")
+    parser.add_argument("--dim", type=_positive_int, default=32,
+                        help="embedding dim of the stub encoder")
+    parser.add_argument("--store", default=None,
+                        help="directory for the persistent embedding store")
+    parser.add_argument("--max-batch-size", type=_positive_int, default=32)
+    parser.add_argument("--max-wait-ms", type=_positive_float, default=5.0)
+    parser.add_argument("--timeout", type=_positive_float, default=30.0,
+                        help="per-attempt deadline in seconds (the total "
+                             "request budget is timeout x (retries + 1) "
+                             "plus backoff)")
+    parser.add_argument("--retries", type=int, default=2)
+    parser.add_argument("--backoff", type=_positive_float, default=0.05,
+                        help="first-retry backoff in seconds; doubles per "
+                             "attempt")
+    parser.add_argument("--flush-timeout", type=_positive_float,
+                        default=None,
+                        help="watchdog bound on one encoder flush inside "
+                             "the micro-batcher (seconds; defaults to "
+                             "--timeout)")
+    parser.add_argument("--close-timeout", type=_positive_float,
+                        default=5.0,
+                        help="upper bound on shutdown: a hung encoder "
+                             "cannot hold process exit hostage longer "
+                             "than this")
+    parser.add_argument("--fallback", action="store_true",
+                        help="degrade to a word-embedding provider when "
+                             "the primary is exhausted")
+    parser.add_argument("--stats", action="store_true",
+                        help="dump the metrics registry to stderr at exit")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -368,37 +576,99 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser("serve",
                            help="JSON-lines inference loop over stdin")
-    serve.add_argument("--checkpoint", default=None,
-                       help="KTeleBERT checkpoint directory; omit for the "
-                            "deterministic stub encoder")
-    serve.add_argument("--dim", type=int, default=32,
-                       help="embedding dim of the stub encoder")
-    serve.add_argument("--store", default=None,
-                       help="directory for the persistent embedding store")
-    serve.add_argument("--max-batch-size", type=int, default=32)
-    serve.add_argument("--max-wait-ms", type=float, default=5.0)
-    serve.add_argument("--timeout", type=float, default=30.0,
-                       help="per-attempt deadline in seconds (the total "
-                            "request budget is timeout x (retries + 1) "
-                            "plus backoff)")
-    serve.add_argument("--retries", type=int, default=2)
-    serve.add_argument("--backoff", type=float, default=0.05,
-                       help="first-retry backoff in seconds; doubles per "
-                            "attempt")
-    serve.add_argument("--flush-timeout", type=float, default=None,
-                       help="watchdog bound on one encoder flush inside "
-                            "the micro-batcher (seconds; defaults to "
-                            "--timeout)")
-    serve.add_argument("--close-timeout", type=float, default=5.0,
-                       help="upper bound on shutdown: a hung encoder "
-                            "cannot hold process exit hostage longer "
-                            "than this")
-    serve.add_argument("--fallback", action="store_true",
-                       help="degrade to a word-embedding provider when the "
-                            "primary is exhausted")
-    serve.add_argument("--stats", action="store_true",
-                       help="dump the metrics registry to stderr at EOF")
+    _add_serve_args(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    serve_net = sub.add_parser(
+        "serve-net",
+        help="TCP socket frontend with tenant auth and admission control")
+    _add_serve_args(serve_net)
+    serve_net.add_argument("--host", default="127.0.0.1")
+    serve_net.add_argument("--port", type=int, default=0,
+                           help="0 binds an ephemeral port; the bound "
+                                "address is printed to stderr as "
+                                "'netserve listening on HOST:PORT'")
+    serve_net.add_argument("--tenants", default=None,
+                           help="JSON tenant config file "
+                                "({'tenants': [...]}); omit for a single "
+                                "tenant built from --api-key/--rate/"
+                                "--burst/--max-concurrency")
+    serve_net.add_argument("--api-key", default="dev-key",
+                           help="single-tenant API key (without --tenants)")
+    serve_net.add_argument("--rate", type=float, default=0.0,
+                           help="single-tenant sustained requests/s "
+                                "(0 = unlimited)")
+    serve_net.add_argument("--burst", type=_positive_int, default=1,
+                           help="single-tenant token-bucket burst size")
+    serve_net.add_argument("--max-concurrency", type=int, default=0,
+                           help="single-tenant concurrent-request quota "
+                                "(0 = unlimited)")
+    serve_net.add_argument("--max-inflight", type=_positive_int,
+                           default=64,
+                           help="admission: total requests executing at "
+                                "once")
+    serve_net.add_argument("--max-queue-depth", type=_positive_int,
+                           default=256,
+                           help="admission: reject when this many names "
+                                "are queued behind the batcher")
+    serve_net.add_argument("--min-headroom", type=float, default=0.01,
+                           help="admission: reject requests with less "
+                                "deadline headroom than this (seconds)")
+    serve_net.add_argument("--retry-after", type=_positive_float,
+                           default=0.1,
+                           help="retry_after_s hint on non-rate-limit "
+                                "rejections (seconds)")
+    serve_net.add_argument("--default-deadline", type=_positive_float,
+                           default=30.0,
+                           help="budget for requests without deadline_ms "
+                                "(seconds)")
+    serve_net.add_argument("--adapters", action="store_true",
+                           help="fit tiny-world rca/eap/fct adapters so "
+                                "task ops answer without a checkpoint")
+    serve_net.add_argument("--world-seed", type=int, default=11,
+                           help="seed for --adapters (match loadgen's "
+                                "--world-seed)")
+    serve_net.set_defaults(func=_cmd_serve_net)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive open/closed-loop traffic at a netserve endpoint")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=_positive_int, required=True)
+    loadgen.add_argument("--api-key", action="append", default=None,
+                         help="repeatable; one tenant per key "
+                              "(default dev-key)")
+    loadgen.add_argument("--mode", choices=("open", "closed"),
+                         default="open")
+    loadgen.add_argument("--duration", type=_positive_float, default=5.0,
+                         help="run window in seconds")
+    loadgen.add_argument("--rate", type=_positive_float, default=50.0,
+                         help="open-loop offered requests/s")
+    loadgen.add_argument("--workers", type=_positive_int, default=4,
+                         help="open-loop sender threads")
+    loadgen.add_argument("--concurrency", type=_positive_int, default=4,
+                         help="closed-loop concurrent workers")
+    loadgen.add_argument("--mix", default="embed=1",
+                         help="op mix, e.g. 'embed=8,fct=2' over "
+                              "embed/rca/eap/fct")
+    loadgen.add_argument("--bursty", action="store_true",
+                         help="half-second on/off arrival windows")
+    loadgen.add_argument("--burst-factor", type=_positive_float,
+                         default=4.0,
+                         help="on-window rate multiplier with --bursty")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--world-seed", type=int, default=11,
+                         help="world seed for rca/eap/fct payloads "
+                              "(match serve-net --world-seed)")
+    loadgen.add_argument("--timeout", type=_positive_float, default=10.0,
+                         help="client-side socket timeout per request")
+    loadgen.add_argument("--deadline-ms", type=_positive_float,
+                         default=None,
+                         help="per-request deadline_ms sent to the server")
+    loadgen.add_argument("--sweep", default=None,
+                         help="comma-separated offered rates; prints the "
+                              "latency-vs-load curve instead of one run")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     train = sub.add_parser(
         "train",

@@ -401,7 +401,7 @@ def check_silent_broad_except(ctx: ModuleContext) -> list[Finding]:
 # RL007 — metric-name / prompt-token literal drift
 # ---------------------------------------------------------------------
 _METRIC_SHAPE_RE = re.compile(
-    r"(serving|train)\.[a-z0-9_]+(\.[a-z0-9_]+)*\.?")
+    r"(serving|train|netserve)\.[a-z0-9_]+(\.[a-z0-9_]+)*\.?")
 
 #: The linter's own configuration necessarily spells the tokens it hunts.
 _SELF_PREFIX = "src/repro/lint/"

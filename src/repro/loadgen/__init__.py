@@ -1,0 +1,38 @@
+"""Load generation for the netserve frontend.
+
+:mod:`repro.loadgen.client` is the minimal NDJSON-over-TCP client;
+:mod:`repro.loadgen.runner` drives open/closed-loop traffic at
+configurable mixes and aggregates latency / throughput / fairness into
+:class:`LoadReport`.  ``python -m repro loadgen`` is the CLI entry.
+"""
+
+from repro.loadgen.client import NetClient, ProtocolError
+from repro.loadgen.runner import (
+    MIX_OPS,
+    LoadgenConfig,
+    LoadReport,
+    RequestFactory,
+    RequestRecord,
+    classify_response,
+    jain_fairness,
+    parse_mix,
+    render_curve,
+    run_load,
+    sweep,
+)
+
+__all__ = [
+    "MIX_OPS",
+    "LoadReport",
+    "LoadgenConfig",
+    "NetClient",
+    "ProtocolError",
+    "RequestFactory",
+    "RequestRecord",
+    "classify_response",
+    "jain_fairness",
+    "parse_mix",
+    "render_curve",
+    "run_load",
+    "sweep",
+]

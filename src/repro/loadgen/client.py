@@ -1,0 +1,92 @@
+"""Minimal NDJSON-over-TCP client for the netserve frontend.
+
+One connection, strictly request/response: send a JSON object on one
+line, read one JSON object line back.  Used by the load generator (one
+client per worker thread) and by tests; transport or framing failures
+raise :class:`ProtocolError` so callers can classify them separately
+from server-side error envelopes, which are returned as plain dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+
+class ProtocolError(RuntimeError):
+    """Transport or framing failure: the exchange did not complete."""
+
+
+class NetClient:
+    """Blocking single-connection client with newline framing."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 10.0,
+                 max_response_bytes: int = 4_000_000):
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+        self.max_response_bytes = max_response_bytes
+        self._sock: socket.socket | None = None
+        self._buffer = bytearray()
+
+    def connect(self) -> "NetClient":
+        """Open the connection (idempotent); returns self for chaining."""
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s)
+            except OSError as error:
+                raise ProtocolError(f"connect failed: {error}") from error
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buffer.clear()
+
+    def __enter__(self) -> "NetClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, payload: dict) -> dict:
+        """One round trip; returns the decoded response envelope."""
+        self.connect()
+        assert self._sock is not None
+        line = (json.dumps(payload, ensure_ascii=False) + "\n").encode()
+        try:
+            self._sock.sendall(line)
+            raw = self._readline()
+        except (OSError, TimeoutError) as error:
+            self.close()
+            raise ProtocolError(f"transport failure: {error}") from error
+        try:
+            response = json.loads(raw)
+        except ValueError as error:
+            self.close()
+            raise ProtocolError(
+                f"unparseable response line: {raw[:200]!r}") from error
+        if not isinstance(response, dict):
+            self.close()
+            raise ProtocolError(f"response is not an object: {response!r}")
+        return response
+
+    def _readline(self) -> str:
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                raw = bytes(self._buffer[:newline])
+                del self._buffer[:newline + 1]
+                return raw.decode("utf-8", errors="replace")
+            if len(self._buffer) > self.max_response_bytes:
+                raise ProtocolError("response line exceeds size limit")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ProtocolError("connection closed mid-response")
+            self._buffer.extend(chunk)

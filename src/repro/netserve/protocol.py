@@ -1,0 +1,223 @@
+"""Shared request-dispatch core for every serving frontend.
+
+``python -m repro serve`` (stdin JSON-lines) and ``python -m repro
+serve-net`` (the TCP socket server) speak the same request language:
+one JSON object per line, an ``op`` field selecting the call, and a
+response that always carries ``"ok"``.  This module is the single
+implementation both frontends dispatch through — op validation, payload
+parsing, the error envelope, and the bad-request metrics live here, so
+the two transports cannot drift apart.
+
+The envelope contract::
+
+    success  {"ok": true, "op": <op>, ...payload}
+    failure  {"ok": false, "error": <repr>}            # stdin loop
+    failure  {"ok": false, "error": ..., "code": ...,  # socket server
+              "retry_after_s": ..., "id": ...}
+
+The stdin loop's failure shape predates the socket server and is kept
+byte-compatible; the socket server adds the machine-actionable fields
+(``code`` for programmatic handling, ``retry_after_s`` for admission
+rejections, ``id`` echoing the request's correlation id).
+
+Dispatch accepts an optional :class:`~repro.serving.deadline.Deadline`
+that is propagated into the service, so a frontend-issued budget bounds
+every wait underneath (batcher, retry pool) end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, IO
+
+from repro.serving import metric_names as mn
+
+if TYPE_CHECKING:  # import only for annotations; avoids a package cycle
+    from repro.serving.deadline import Deadline
+    from repro.serving.service import FaultAnalysisService
+
+# -- error codes ------------------------------------------------------
+#: Request could not be parsed or failed op/payload validation.
+CODE_BAD_REQUEST = "bad_request"
+#: Unknown or missing API key.
+CODE_AUTH = "auth"
+#: Admitted request exhausted its budget (or the service degraded).
+CODE_UNAVAILABLE = "unavailable"
+#: Unexpected server-side failure.
+CODE_INTERNAL = "internal"
+#: Server is draining after SIGTERM; retry against another replica.
+CODE_DRAINING = "draining"
+
+#: Rejection codes a well-behaved client backs off and retries on
+#: (admission codes are defined in :mod:`repro.netserve.admission`).
+RETRYABLE_CODES = frozenset({
+    "rate_limit", "concurrency", "overload", "queue_full", "deadline",
+    CODE_DRAINING, CODE_UNAVAILABLE,
+})
+
+
+def parse_rca_state(request: dict):
+    """Validate and build the RCA inference state from a request dict."""
+    import numpy as np
+
+    from repro.tasks.rca.serve import state_for_inference
+
+    nodes = request.get("nodes")
+    if not isinstance(nodes, list) or not nodes or \
+            not all(isinstance(n, str) for n in nodes):
+        raise ValueError("rca needs a non-empty 'nodes' string list")
+    try:
+        adjacency = np.asarray(request.get("adjacency"), dtype=float)
+        features = np.asarray(request.get("features"), dtype=float)
+    except (TypeError, ValueError):
+        raise ValueError("rca 'adjacency'/'features' must be numeric "
+                         "matrices") from None
+    v = len(nodes)
+    if adjacency.shape != (v, v):
+        raise ValueError(f"rca 'adjacency' must be {v}x{v}")
+    if features.ndim != 2 or features.shape[0] != v:
+        raise ValueError(f"rca 'features' must have {v} rows")
+    return state_for_inference(nodes, adjacency, features)
+
+
+def parse_eap_pairs(request: dict):
+    """Validate and build EventPair objects from a request dict."""
+    from repro.tasks.eap.data import EventPair
+
+    raw_pairs = request.get("pairs")
+    if not isinstance(raw_pairs, list) or not raw_pairs or \
+            not all(isinstance(p, dict) for p in raw_pairs):
+        raise ValueError("eap needs a non-empty 'pairs' list of objects")
+    pairs = []
+    for number, raw in enumerate(raw_pairs):
+        try:
+            pairs.append(EventPair(
+                event_i=str(raw.get("event_i", raw["name_i"])),
+                event_j=str(raw.get("event_j", raw["name_j"])),
+                name_i=str(raw["name_i"]), name_j=str(raw["name_j"]),
+                node_i=str(raw["node_i"]), node_j=str(raw["node_j"]),
+                time_i=float(raw["time_i"]), time_j=float(raw["time_j"]),
+                label=0))  # placeholder; never read at inference time
+        except KeyError as missing:
+            raise ValueError(
+                f"eap pair {number} lacks required field {missing}"
+            ) from None
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"eap pair {number} has non-numeric time_i/time_j"
+            ) from None
+    return pairs
+
+
+def handle_request(service: "FaultAnalysisService", request: dict,
+                   deadline: "Deadline | None" = None) -> dict:
+    """Dispatch one request dict to the service; returns the response.
+
+    ``deadline`` (when given) is propagated into every service call, so
+    the frontend's per-request budget bounds the batcher and retry-pool
+    waits underneath.  Raises ``ValueError`` on validation failures and
+    whatever the service raises on exhaustion — converting those into
+    the wire envelope is the transport's job (:func:`error_envelope`).
+    """
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "op": "ping"}
+    if op == "embed":
+        names = request.get("names")
+        if not isinstance(names, list) or not names or \
+                not all(isinstance(n, str) for n in names):
+            raise ValueError("embed needs a non-empty 'names' string list")
+        vectors = service.embed(names, deadline=deadline)
+        return {"ok": True, "op": "embed",
+                "embeddings": [[round(float(x), 6) for x in row]
+                               for row in vectors]}
+    if op == "classify_fault":
+        alarm = request.get("alarm")
+        if not isinstance(alarm, str):
+            raise ValueError("classify_fault needs an 'alarm' string")
+        chain = service.classify_fault(alarm,
+                                       top_k=int(request.get("top_k", 5)),
+                                       deadline=deadline)
+        return {"ok": True, "op": "classify_fault", "next_hops": chain}
+    if op == "rca":
+        state = parse_rca_state(request)
+        top_k = request.get("top_k")
+        if top_k is not None:
+            top_k = int(top_k)
+        ranking = service.rank_root_causes(state, top_k=top_k,
+                                           deadline=deadline)
+        return {"ok": True, "op": "rca",
+                "ranking": [{"node": node, "score": round(float(score), 6)}
+                            for node, score in ranking]}
+    if op == "eap":
+        verdicts = service.propagate_alarms(parse_eap_pairs(request),
+                                            deadline=deadline)
+        return {"ok": True, "op": "eap",
+                "verdicts": [{"triggers": v["triggers"],
+                              "confidence": round(float(v["confidence"]), 6)}
+                             for v in verdicts]}
+    if op == "stats":
+        stats = service.stats()
+        return {"ok": True, "op": "stats",
+                "requests": stats["requests"],
+                "cache": stats["cache"],
+                "latency": stats["latency"],
+                "batcher": stats["batcher"]}
+    raise ValueError(f"unknown op: {op!r}")
+
+
+def error_envelope(error: BaseException | str, *, code: str | None = None,
+                   request_id=None,
+                   retry_after_s: float | None = None) -> dict:
+    """The failure response shape shared by every frontend.
+
+    With only ``error`` set this is byte-compatible with the historical
+    stdin-loop envelope (``{"ok": false, "error": repr(error)}``); the
+    socket server layers on ``code`` / ``retry_after_s`` / ``id``.
+    """
+    response: dict = {
+        "ok": False,
+        "error": error if isinstance(error, str) else repr(error),
+    }
+    if code is not None:
+        response["code"] = code
+    if retry_after_s is not None:
+        response["retry_after_s"] = round(float(retry_after_s), 4)
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def dispatch_line(service: "FaultAnalysisService", line: str) -> dict:
+    """Parse and dispatch one JSON request line; never raises.
+
+    This is the stdin loop's whole per-line pipeline: JSON parse, object
+    check, :func:`handle_request`, and the legacy error envelope with
+    bad-request metrics.  The socket server shares the same parsing and
+    dispatch but builds richer envelopes (auth/admission), so it calls
+    the pieces directly instead of this convenience wrapper.
+    """
+    try:
+        request = json.loads(line)
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+        return handle_request(service, request)
+    except Exception as error:  # noqa: BLE001 — reported, loop survives
+        service.metrics.counter(mn.SERVING_BAD_REQUESTS).inc()
+        service.metrics.emit("bad_request", error=repr(error))
+        return error_envelope(error)
+
+
+def serve_loop(service: "FaultAnalysisService", input_stream: IO[str],
+               output_stream: IO[str]) -> int:
+    """Run requests from ``input_stream`` until EOF; returns served count."""
+    served = 0
+    for line in input_stream:
+        line = line.strip()
+        if not line:
+            continue
+        response = dispatch_line(service, line)
+        served += 1
+        output_stream.write(json.dumps(response, ensure_ascii=False) + "\n")
+        output_stream.flush()
+    return served

@@ -8,8 +8,9 @@ literals anywhere else in ``src/repro``; import the constant, or use the
 ``*_for``/``train_event`` helpers for per-operation families.
 
 Naming convention: ``serving.*`` for the online stack (service facade,
-micro-batcher, worker pool, HTTP server), ``train.*`` for metrics
-replayed from the training runtime's journal.
+micro-batcher, worker pool, stdin loop), ``netserve.*`` for the TCP
+socket frontend (connections, tenancy, admission control), and
+``train.*`` for metrics replayed from the training runtime's journal.
 """
 
 from __future__ import annotations
@@ -49,6 +50,30 @@ POOL_REPLACEMENTS = "serving.pool.replacements"
 POOL_SKIPPED = "serving.pool.skipped"
 POOL_RECOVERED = "serving.pool.recovered"
 
+# -- socket frontend (repro.netserve) ---------------------------------
+#: lifetime accepted TCP connections
+NETSERVE_CONNECTIONS = "netserve.connections"
+#: currently open connections (gauge)
+NETSERVE_ACTIVE_CONNECTIONS = "netserve.active_connections"
+#: requests read off sockets (before auth/admission)
+NETSERVE_REQUESTS = "netserve.requests"
+#: lines that failed JSON parsing / were not objects
+NETSERVE_PROTOCOL_ERRORS = "netserve.protocol_errors"
+#: requests with an unknown or missing API key
+NETSERVE_AUTH_FAILURES = "netserve.auth_failures"
+#: requests past every admission gate
+NETSERVE_ADMITTED = "netserve.admitted"
+#: requests rejected by admission control (see ``rejections_for``)
+NETSERVE_REJECTIONS = "netserve.rejections"
+#: admitted requests currently executing (gauge)
+NETSERVE_INFLIGHT = "netserve.inflight"
+#: end-to-end request latency on the socket path (histogram)
+NETSERVE_LATENCY = "netserve.latency"
+#: requests answered with the draining envelope during shutdown
+NETSERVE_DRAINING_REJECTS = "netserve.draining_rejects"
+#: graceful drains initiated (SIGTERM / close)
+NETSERVE_DRAINS = "netserve.drains"
+
 # -- training-journal replay (repro.serving.metrics.replay_journal) ---
 TRAIN_STEPS = "train.steps"
 TRAIN_TOKENS = "train.tokens"
@@ -80,6 +105,12 @@ def train_event(kind: str) -> str:
     return f"{TRAIN_EVENTS}.{kind}"
 
 
+def rejections_for(code: str) -> str:
+    """Per-reason admission-rejection counter, e.g.
+    ``netserve.rejections.rate_limit``."""
+    return f"{NETSERVE_REJECTIONS}.{code}"
+
+
 __all__ = [
     "BATCHER_BATCHES",
     "BATCHER_BATCH_SIZE",
@@ -92,6 +123,17 @@ __all__ = [
     "BATCHER_QUEUE_DEPTH",
     "BATCHER_RECOVERED_FLUSHES",
     "BATCHER_REQUESTS",
+    "NETSERVE_ACTIVE_CONNECTIONS",
+    "NETSERVE_ADMITTED",
+    "NETSERVE_AUTH_FAILURES",
+    "NETSERVE_CONNECTIONS",
+    "NETSERVE_DRAINING_REJECTS",
+    "NETSERVE_DRAINS",
+    "NETSERVE_INFLIGHT",
+    "NETSERVE_LATENCY",
+    "NETSERVE_PROTOCOL_ERRORS",
+    "NETSERVE_REJECTIONS",
+    "NETSERVE_REQUESTS",
     "POOL_HUNG_THREADS",
     "POOL_RECOVERED",
     "POOL_REPLACEMENTS",
@@ -117,6 +159,7 @@ __all__ = [
     "TRAIN_TOKENS_PER_SEC",
     "fit_for",
     "latency_for",
+    "rejections_for",
     "requests_for",
     "train_event",
 ]

@@ -17,134 +17,26 @@ supervisor.  Protocol::
 Responses always carry ``"ok"``; failures answer ``{"ok": false,
 "error": ...}`` on that line and the loop keeps serving — a malformed
 request must never take the service down.
+
+The dispatch logic itself lives in :mod:`repro.netserve.protocol`, the
+request-language core shared with the TCP socket frontend
+(``python -m repro serve-net``), so the two transports answer every op
+identically.  This module re-exports the stdin-loop surface under its
+historical names.
 """
 
 from __future__ import annotations
 
-import json
-from typing import IO
+from repro.netserve.protocol import (
+    dispatch_line,
+    error_envelope,
+    handle_request,
+    serve_loop,
+)
 
-from repro.serving import metric_names as mn
-from repro.serving.service import FaultAnalysisService
-
-
-def _parse_rca_state(request: dict):
-    """Validate and build the RCA inference state from a request dict."""
-    import numpy as np
-
-    from repro.tasks.rca.serve import state_for_inference
-
-    nodes = request.get("nodes")
-    if not isinstance(nodes, list) or not nodes or \
-            not all(isinstance(n, str) for n in nodes):
-        raise ValueError("rca needs a non-empty 'nodes' string list")
-    try:
-        adjacency = np.asarray(request.get("adjacency"), dtype=float)
-        features = np.asarray(request.get("features"), dtype=float)
-    except (TypeError, ValueError):
-        raise ValueError("rca 'adjacency'/'features' must be numeric "
-                         "matrices") from None
-    v = len(nodes)
-    if adjacency.shape != (v, v):
-        raise ValueError(f"rca 'adjacency' must be {v}x{v}")
-    if features.ndim != 2 or features.shape[0] != v:
-        raise ValueError(f"rca 'features' must have {v} rows")
-    return state_for_inference(nodes, adjacency, features)
-
-
-def _parse_eap_pairs(request: dict):
-    """Validate and build EventPair objects from a request dict."""
-    from repro.tasks.eap.data import EventPair
-
-    raw_pairs = request.get("pairs")
-    if not isinstance(raw_pairs, list) or not raw_pairs or \
-            not all(isinstance(p, dict) for p in raw_pairs):
-        raise ValueError("eap needs a non-empty 'pairs' list of objects")
-    pairs = []
-    for number, raw in enumerate(raw_pairs):
-        try:
-            pairs.append(EventPair(
-                event_i=str(raw.get("event_i", raw["name_i"])),
-                event_j=str(raw.get("event_j", raw["name_j"])),
-                name_i=str(raw["name_i"]), name_j=str(raw["name_j"]),
-                node_i=str(raw["node_i"]), node_j=str(raw["node_j"]),
-                time_i=float(raw["time_i"]), time_j=float(raw["time_j"]),
-                label=0))  # placeholder; never read at inference time
-        except KeyError as missing:
-            raise ValueError(
-                f"eap pair {number} lacks required field {missing}"
-            ) from None
-        except (TypeError, ValueError):
-            raise ValueError(
-                f"eap pair {number} has non-numeric time_i/time_j"
-            ) from None
-    return pairs
-
-
-def handle_request(service: FaultAnalysisService, request: dict) -> dict:
-    """Dispatch one request dict to the service; returns the response."""
-    op = request.get("op")
-    if op == "ping":
-        return {"ok": True, "op": "ping"}
-    if op == "embed":
-        names = request.get("names")
-        if not isinstance(names, list) or not names or \
-                not all(isinstance(n, str) for n in names):
-            raise ValueError("embed needs a non-empty 'names' string list")
-        vectors = service.embed(names)
-        return {"ok": True, "op": "embed",
-                "embeddings": [[round(float(x), 6) for x in row]
-                               for row in vectors]}
-    if op == "classify_fault":
-        alarm = request.get("alarm")
-        if not isinstance(alarm, str):
-            raise ValueError("classify_fault needs an 'alarm' string")
-        chain = service.classify_fault(alarm,
-                                       top_k=int(request.get("top_k", 5)))
-        return {"ok": True, "op": "classify_fault", "next_hops": chain}
-    if op == "rca":
-        state = _parse_rca_state(request)
-        top_k = request.get("top_k")
-        if top_k is not None:
-            top_k = int(top_k)
-        ranking = service.rank_root_causes(state, top_k=top_k)
-        return {"ok": True, "op": "rca",
-                "ranking": [{"node": node, "score": round(float(score), 6)}
-                            for node, score in ranking]}
-    if op == "eap":
-        verdicts = service.propagate_alarms(_parse_eap_pairs(request))
-        return {"ok": True, "op": "eap",
-                "verdicts": [{"triggers": v["triggers"],
-                              "confidence": round(float(v["confidence"]), 6)}
-                             for v in verdicts]}
-    if op == "stats":
-        stats = service.stats()
-        return {"ok": True, "op": "stats",
-                "requests": stats["requests"],
-                "cache": stats["cache"],
-                "latency": stats["latency"],
-                "batcher": stats["batcher"]}
-    raise ValueError(f"unknown op: {op!r}")
-
-
-def serve_loop(service: FaultAnalysisService, input_stream: IO[str],
-               output_stream: IO[str]) -> int:
-    """Run requests from ``input_stream`` until EOF; returns served count."""
-    served = 0
-    for line in input_stream:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ValueError("request must be a JSON object")
-            response = handle_request(service, request)
-        except Exception as error:  # noqa: BLE001 — reported, loop survives
-            service.metrics.counter(mn.SERVING_BAD_REQUESTS).inc()
-            service.metrics.emit("bad_request", error=repr(error))
-            response = {"ok": False, "error": repr(error)}
-        served += 1
-        output_stream.write(json.dumps(response, ensure_ascii=False) + "\n")
-        output_stream.flush()
-    return served
+__all__ = [
+    "dispatch_line",
+    "error_envelope",
+    "handle_request",
+    "serve_loop",
+]

@@ -188,18 +188,30 @@ class FaultAnalysisService:
     # ------------------------------------------------------------------
     # Resilience plumbing
     # ------------------------------------------------------------------
-    def _call_with_policy(self, op: str, primary, fallback=None):
+    def _call_with_policy(self, op: str, primary, fallback=None,
+                          deadline: Deadline | None = None):
         """Deadline + bounded retry with backoff + graceful degradation.
 
         ``primary`` is called as ``primary(deadline, token)`` on a pool
         worker; deadline-aware primaries (the embed path) honour the
         budget cooperatively and release their thread, others are bounded
         by the external wait and written off as hung if they overrun.
+
+        A caller-supplied ``deadline`` (e.g. the per-request budget a
+        network frontend issued at admission) *caps* the configured
+        budget: the overall budget is the smaller of
+        ``config.total_budget_s()`` and the deadline's remaining time, so
+        an end-to-end budget propagates through every retry and wait.
+        An already-expired deadline degrades immediately (fallback or
+        :class:`ServingError`) without touching the provider.
         """
         self.metrics.counter(mn.SERVING_REQUESTS).inc()
         self.metrics.counter(mn.requests_for(op)).inc()
         attempts = self.config.max_retries + 1
-        overall = Deadline.after(self.config.total_budget_s())
+        budget_s = self.config.total_budget_s()
+        if deadline is not None:
+            budget_s = min(budget_s, deadline.remaining())
+        overall = Deadline.after(budget_s)
         last_error: BaseException | None = None
         with self.metrics.time(mn.SERVING_LATENCY):
             for attempt in range(attempts):
@@ -257,17 +269,23 @@ class FaultAnalysisService:
     # ------------------------------------------------------------------
     # Embedding
     # ------------------------------------------------------------------
-    def embed(self, names: list[str]) -> np.ndarray:
-        """Service embeddings for ``names`` through the full stack."""
+    def embed(self, names: list[str],
+              deadline: Deadline | None = None) -> np.ndarray:
+        """Service embeddings for ``names`` through the full stack.
+
+        ``deadline`` (optional) caps the total budget — see
+        :meth:`_call_with_policy`.
+        """
         fallback = None
         if self.fallback is not None:
             fallback = lambda: self.fallback.encode_names(names)  # noqa: E731
 
-        def primary(deadline: Deadline, token: CancellationToken):
+        def primary(attempt_deadline: Deadline, token: CancellationToken):
             token.raise_if_cancelled()
-            return self.batcher.encode(names, deadline=deadline)
+            return self.batcher.encode(names, deadline=attempt_deadline)
 
-        return self._call_with_policy("embed", primary, fallback)
+        return self._call_with_policy("embed", primary, fallback,
+                                      deadline=deadline)
 
     # ------------------------------------------------------------------
     # Fault-analysis calls
@@ -294,26 +312,32 @@ class FaultAnalysisService:
                     self.metrics.emit("adapter_fitted", op=op)
         return adapter
 
-    def rank_root_causes(self, state, top_k: int | None = None
+    def rank_root_causes(self, state, top_k: int | None = None,
+                         deadline: Deadline | None = None
                          ) -> list[tuple[str, float]]:
         """RCA: nodes of ``state`` ranked most-likely-root first."""
         adapter = self._fitted(self.rca, "rca")
         ranking = self._call_with_policy(
-            "rank_root_causes", lambda d, t: adapter.rank(state))
+            "rank_root_causes", lambda d, t: adapter.rank(state),
+            deadline=deadline)
         return ranking[:top_k] if top_k is not None else ranking
 
-    def propagate_alarms(self, pairs) -> list[dict]:
+    def propagate_alarms(self, pairs,
+                         deadline: Deadline | None = None) -> list[dict]:
         """EAP: trigger verdict + confidence for each candidate pair."""
         adapter = self._fitted(self.eap, "eap")
         return self._call_with_policy(
-            "propagate_alarms", lambda d, t: adapter.predict(pairs))
+            "propagate_alarms", lambda d, t: adapter.predict(pairs),
+            deadline=deadline)
 
-    def classify_fault(self, alarm_name: str, top_k: int = 5) -> list[dict]:
+    def classify_fault(self, alarm_name: str, top_k: int = 5,
+                       deadline: Deadline | None = None) -> list[dict]:
         """FCT: most plausible next-hop alarms for ``alarm_name``."""
         adapter = self._fitted(self.fct, "fct")
         return self._call_with_policy(
             "classify_fault", lambda d, t: adapter.trace(alarm_name,
-                                                         top_k=top_k))
+                                                         top_k=top_k),
+            deadline=deadline)
 
     # ------------------------------------------------------------------
     # Observability / lifecycle
