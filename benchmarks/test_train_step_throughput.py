@@ -1,22 +1,32 @@
-"""Training hot-path throughput: mask_batch speedup + full stage-2 step.
+"""Training hot-path throughput: mask_batch, fused ops, full stage-2 step.
 
-Four measurements, all written to
-``benchmarks/results/train_step_throughput.txt``:
+Six measurements, written to
+``benchmarks/results/train_step_throughput.txt`` (human-readable) and
+``benchmarks/results/BENCH_train_step.json`` (machine-readable:
+metric/value pairs plus config, git sha, and date — the same shape as
+``BENCH_netserve_load.json``):
 
 * ``mask_batch`` on a 64×128 batch over a 5k-token vocabulary, new
   vectorised implementation vs. an in-file reimplementation of the pre-fix
   per-position Python loop (pool rebuilt on every call).  The fix must be at
   least 5× faster — asserted, not eyeballed.
+* the fused embedding gather (``functional.fused_embedding``) vs. an
+  in-file reimplementation of the former five-node keep-mask composition,
+  forward + backward.
+* the fused attention-weight softmax (``functional.attention_weights``)
+  vs. the former matmul/scale/bias/softmax composition, forward + backward.
 * one full stage-2 KTeleBERT train step (MLM + L_num + KE with gradient
   clipping) on the miniature pipeline, reported as tokens/sec so later
-  optimisation passes have a recorded baseline.
+  optimisation passes have a recorded baseline (24.34 ms/step before the
+  fused ops landed).
 * a regression guard proving the per-step invariants stay hoisted out of
   the hot loop: ``Stage2Data.vocabulary`` and ``Vocab.special_ids`` must
   not be recomputed per step.
 * serial vs 4-worker data-parallel step throughput through
   :class:`~repro.training.runtime.TrainingRuntime`; the ≥2x speedup bar is
-  asserted when the host has at least 4 CPUs (the measurement is recorded
-  either way).
+  asserted whenever the host has at least 4 CPUs (the measurement is
+  recorded either way, with an explicit note when the CPU count makes the
+  bar non-binding).
 
 Gradient correctness of everything measured here is gated separately by
 ``make gradcheck``; this file only measures speed.
@@ -24,19 +34,55 @@ Gradient correctness of everything measured here is gated separately by
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
+import subprocess
 import time
+from datetime import date
 
 import numpy as np
 from conftest import save_and_print
 
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
 from repro.tokenization.vocab import Vocab
 from repro.training.masking import DynamicMasker
 
 VOCAB_SIZE = 5000
 BATCH, SEQ = 64, 128
 MIN_SPEEDUP = 5.0
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            check=True).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _record_metrics(results_dir, metrics: dict[str, float],
+                    config: dict | None = None) -> None:
+    """Merge metric/value pairs into ``BENCH_train_step.json``.
+
+    Each test contributes its own metrics; merging by name keeps the file
+    complete even when only a subset of the module runs.
+    """
+    path = results_dir / "BENCH_train_step.json"
+    payload = {"name": "train_step", "metrics": [], "config": {}}
+    if path.exists():
+        payload = json.loads(path.read_text())
+    merged = {m["metric"]: m["value"] for m in payload["metrics"]}
+    merged.update({k: round(float(v), 3) for k, v in metrics.items()})
+    payload["metrics"] = [{"metric": k, "value": v}
+                          for k, v in merged.items()]
+    payload["config"].update(config or {})
+    payload["git_sha"] = _git_sha()
+    payload["date"] = date.today().isoformat()
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def _legacy_mask_batch(masker: DynamicMasker, ids: np.ndarray,
@@ -116,10 +162,138 @@ def test_mask_batch_speedup(results_dir):
     ]
     save_and_print(results_dir, "train_step_throughput.txt",
                    "\n".join(lines))
+    _record_metrics(results_dir, {
+        "mask_batch_legacy_ms": legacy_s * 1e3,
+        "mask_batch_fixed_ms": fixed_s * 1e3,
+        "mask_batch_speedup_x": speedup,
+    }, config={"mask_batch": {"batch": BATCH, "seq": SEQ,
+                              "vocab": VOCAB_SIZE}})
     assert speedup >= MIN_SPEEDUP, (
         f"mask_batch speedup {speedup:.1f}x below the {MIN_SPEEDUP:.0f}x "
         f"acceptance bar (legacy {legacy_s * 1e3:.2f} ms, "
         f"fixed {fixed_s * 1e3:.2f} ms)")
+
+
+def _fwd_bwd_best_of(fn, params, iters: int = 10, repeats: int = 3) -> float:
+    """Best per-iteration wall time of forward + backward over ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iters):
+            for param in params:
+                param.zero_grad()
+            fn().sum().backward()
+        best = min(best, (time.perf_counter() - start) / iters)
+    return best
+
+
+def test_fused_embedding_speedup(results_dir):
+    """Fused gather+scatter vs. the former five-node keep-mask composition."""
+    from repro.nn.layers import Embedding
+
+    rng = np.random.default_rng(3)
+    d_model, batch, seq, n_overrides = 64, 16, 32, 40
+    token_embedding = Embedding(VOCAB_SIZE, d_model, rng)
+    position_embedding = Embedding(seq, d_model, rng)
+    ids = rng.integers(0, VOCAB_SIZE, size=(batch, seq))
+    positions = np.stack([rng.integers(0, batch, n_overrides),
+                          rng.integers(0, seq, n_overrides)], axis=1)
+    vectors = Tensor(rng.normal(size=(n_overrides, d_model)),
+                     requires_grad=True)
+    params = [token_embedding.weight, position_embedding.weight, vectors]
+
+    def legacy():
+        # The pre-fused embed() body: gather, keep-mask, scatter via a
+        # gather index, mask-multiplied blend, tiled position add.
+        token = token_embedding(ids)
+        keep = np.ones((batch, seq, 1))
+        keep[positions[:, 0], positions[:, 1], 0] = 0.0
+        gather = np.zeros((batch, seq), dtype=np.int64)
+        gather[positions[:, 0], positions[:, 1]] = np.arange(len(positions))
+        scattered = vectors.take_rows(gather) * Tensor(1.0 - keep)
+        token = token * Tensor(keep) + scattered
+        pos_ids = np.tile(np.arange(seq), (batch, 1))
+        return token + position_embedding(pos_ids)
+
+    def fused():
+        return F.fused_embedding(token_embedding.weight,
+                                 position_embedding.weight, ids,
+                                 overrides=(positions, vectors))
+
+    np.testing.assert_allclose(legacy().data, fused().data,
+                               rtol=1e-12, atol=1e-12)
+    legacy_s = _fwd_bwd_best_of(legacy, params)
+    fused_s = _fwd_bwd_best_of(fused, params)
+    speedup = legacy_s / fused_s
+
+    lines = [
+        "",
+        f"fused embedding gather ({batch}x{seq} ids, vocab {VOCAB_SIZE}, "
+        f"d={d_model}, {n_overrides} overrides, fwd+bwd)",
+        f"  legacy (5-node keep-mask): {legacy_s * 1e3:9.3f} ms",
+        f"  fused (single node):       {fused_s * 1e3:9.3f} ms",
+        f"  speedup:                   {speedup:9.1f}x",
+    ]
+    _append_result(results_dir, "\n".join(lines))
+    _record_metrics(results_dir, {
+        "fused_embedding_legacy_ms": legacy_s * 1e3,
+        "fused_embedding_fused_ms": fused_s * 1e3,
+        "fused_embedding_speedup_x": speedup,
+    })
+    assert speedup >= 1.0, (
+        f"fused_embedding is slower than the composition it replaced "
+        f"({speedup:.2f}x)")
+
+
+def test_attention_weights_speedup(results_dir):
+    """Fused attention softmax vs. the former seven-node composition."""
+    rng = np.random.default_rng(4)
+    batch, heads, seq, head_dim = 8, 4, 64, 16
+    scale = 1.0 / np.sqrt(head_dim)
+    q = Tensor(rng.normal(size=(batch, heads, seq, head_dim)),
+               requires_grad=True)
+    k = Tensor(rng.normal(size=(batch, heads, seq, head_dim)),
+               requires_grad=True)
+    mask = np.ones((batch, seq))
+    mask[:, 48:] = 0
+    mask_bias = F.attention_scores_mask(mask)
+    workspace: dict = {}
+
+    def legacy():
+        # The pre-fused forward: matmul, scale, bias add, then the
+        # four-node stabilised softmax — every (B, H, T, T) intermediate
+        # captured by the graph.
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+        scores = scores + Tensor(mask_bias)
+        return F.softmax(scores, axis=-1)
+
+    def fused():
+        return F.attention_weights(q, k, scale, mask_bias=mask_bias,
+                                   workspace=workspace)
+
+    np.testing.assert_allclose(legacy().data, fused().data,
+                               rtol=1e-12, atol=1e-12)
+    legacy_s = _fwd_bwd_best_of(legacy, [q, k])
+    fused_s = _fwd_bwd_best_of(fused, [q, k])
+    speedup = legacy_s / fused_s
+
+    lines = [
+        "",
+        f"fused attention weights (B={batch}, H={heads}, T={seq}, "
+        f"Dh={head_dim}, fwd+bwd)",
+        f"  legacy (7-node softmax):   {legacy_s * 1e3:9.3f} ms",
+        f"  fused (single node):       {fused_s * 1e3:9.3f} ms",
+        f"  speedup:                   {speedup:9.1f}x",
+    ]
+    _append_result(results_dir, "\n".join(lines))
+    _record_metrics(results_dir, {
+        "attention_weights_legacy_ms": legacy_s * 1e3,
+        "attention_weights_fused_ms": fused_s * 1e3,
+        "attention_weights_speedup_x": speedup,
+    })
+    assert speedup >= 1.0, (
+        f"attention_weights is slower than the composition it replaced "
+        f"({speedup:.2f}x)")
 
 
 def _build_retrainer(total_steps: int = 8, batch_size: int = 8):
@@ -183,11 +357,17 @@ def test_stage2_train_step_tokens_per_sec(results_dir):
         "",
         f"stage-2 train step (MLM + L_num + KE, d_model="
         f"{model.bert_config.d_model}, batch {batch_size})",
-        f"  step latency:   {elapsed / steps * 1e3:9.2f} ms",
+        f"  step latency:   {elapsed / steps * 1e3:9.2f} ms "
+        f"(24.34 ms before the fused embedding/attention ops)",
         f"  throughput:     {tokens_per_sec:9.0f} tokens/sec "
         f"(~{avg_tokens:.1f} tokens/row)",
     ]
     _append_result(results_dir, "\n".join(lines))
+    _record_metrics(results_dir, {
+        "stage2_step_ms": elapsed / steps * 1e3,
+        "stage2_tokens_per_sec": tokens_per_sec,
+    }, config={"stage2": {"d_model": model.bert_config.d_model,
+                          "batch_size": batch_size}})
     assert tokens_per_sec > 0
     assert all(np.isfinite(v) for v in retrainer.log.total)
 
@@ -284,7 +464,19 @@ def test_data_parallel_step_speedup(results_dir, tmp_path):
         f"  speedup:  {speedup:9.2f}x  "
         f"(>= 2x required when cpus >= {workers})",
     ]
+    if cpus < workers:
+        lines.append(
+            f"  NOTE: only {cpus} CPU(s) visible — the {workers} workers "
+            f"time-share cores, so the >=2x bar is not binding on this "
+            f"host; the measurement is recorded for reference only.")
     _append_result(results_dir, "\n".join(lines))
+    _record_metrics(results_dir, {
+        "data_parallel_serial_step_ms": serial_s / steps * 1e3,
+        "data_parallel_parallel_step_ms": parallel_s / steps * 1e3,
+        "data_parallel_speedup_x": speedup,
+    }, config={"data_parallel": {"workers": workers, "timed_steps": steps,
+                                 "cpus_visible": cpus,
+                                 "speedup_bar_binding": cpus >= workers}})
     if cpus >= workers:
         assert speedup >= 2.0, (
             f"data-parallel speedup {speedup:.2f}x below the 2x bar with "

@@ -457,7 +457,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         checkpoint_every_steps=args.checkpoint_every,
         checkpoint_every_s=args.checkpoint_every_s,
         keep_last=args.keep_last,
-        straggler_timeout_s=args.straggler_timeout))
+        straggler_timeout_s=args.straggler_timeout,
+        pool_retry_steps=args.pool_retry_steps,
+        pool_max_failures=args.pool_max_failures))
 
     if runtime.journal.is_interrupted():
         print("journal shows an interrupted run; attempting resume",
@@ -474,10 +476,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
               f"re-run the same command to resume", file=sys.stderr)
         return 130
     if step < total:
-        latest = runtime.snapshots.latest()
-        if latest is None or runtime.snapshots.index()[latest.name]["step"] \
-                != step:
-            runtime.checkpoint(reason="stop_after")
+        # runtime.run() already checkpointed the max_steps exit.
         print(f"paused at step {step}/{total} (--stop-after); re-run to "
               f"resume", file=sys.stderr)
         return 0
@@ -696,6 +695,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="snapshots retained besides the best-loss one")
     train.add_argument("--straggler-timeout", type=float, default=120.0,
                        help="seconds to wait for a gradient worker")
+    train.add_argument("--pool-retry-steps", type=int, default=50,
+                       help="serial steps after a pool failure before "
+                            "rebuilding the worker pool (0 = never retry)")
+    train.add_argument("--pool-max-failures", type=int, default=3,
+                       help="consecutive pool failures before parallelism "
+                            "is disabled for the rest of the run")
     train.add_argument("--stop-after", type=int, default=None,
                        help="pause (with checkpoint) after N steps; used by "
                             "the train-smoke interrupt/resume cycle")

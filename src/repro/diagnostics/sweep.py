@@ -135,6 +135,30 @@ def _functional_cases() -> list[SweepCase]:
         w = _const(rng, 3, 5)
         return (lambda: (F.masked_mean(x, mask) * w).sum()), {"x": x}
 
+    def fused_embedding_case():
+        rng = _rng(14)
+        token = _t(rng, 7, 5)
+        position = _t(rng, 4, 5)
+        ids = rng.integers(0, 7, size=(2, 3))
+        positions = np.array([[0, 1], [1, 2]])
+        vectors = _t(rng, 2, 5)
+        w = _const(rng, 2, 3, 5)
+        return (lambda: (F.fused_embedding(
+            token, position, ids, overrides=(positions, vectors)) * w
+        ).sum()), {"token": token, "position": position, "vectors": vectors}
+
+    def attention_weights_case():
+        rng = _rng(15)
+        q = _t(rng, 2, 2, 3, 4)
+        k = _t(rng, 2, 2, 3, 4)
+        mask = np.array([[1, 1, 0], [1, 1, 1]], dtype=float)
+        bias = F.attention_scores_mask(mask)
+        w = _const(rng, 2, 2, 3, 3)
+        workspace: dict = {}
+        return (lambda: (F.attention_weights(
+            q, k, 0.5, mask_bias=bias, workspace=workspace) * w).sum()), \
+            {"q": q, "k": k}
+
     return [
         SweepCase("functional.softmax", softmax_case),
         SweepCase("functional.log_softmax", log_softmax_case),
@@ -149,6 +173,8 @@ def _functional_cases() -> list[SweepCase]:
         SweepCase("functional.cosine_similarity", cosine_case),
         SweepCase("functional.l2_norm", l2_norm_case),
         SweepCase("functional.masked_mean", masked_mean_case),
+        SweepCase("functional.fused_embedding", fused_embedding_case),
+        SweepCase("functional.attention_weights", attention_weights_case),
     ]
 
 

@@ -68,8 +68,8 @@ class Baseline:
 
     @staticmethod
     def from_findings(findings: list[Finding],
-                      tracking: str = "TODO: grandfathered — "
-                                      "fix and remove") -> "Baseline":
+                      tracking: str = "baselined — link a tracking "
+                                      "issue") -> "Baseline":
         entries = [BaselineEntry(fingerprint=f.fingerprint, rule=f.rule,
                                  path=f.path, tracking=tracking)
                    for f in findings]

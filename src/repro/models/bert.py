@@ -68,25 +68,15 @@ class BertEncoder(Module):
         embeddings there (position embeddings still apply).
         """
         ids = np.asarray(ids)
-        batch, seq = ids.shape
+        seq = ids.shape[1]
         if seq > self.config.max_len:
             raise ValueError(
                 f"sequence length {seq} exceeds max_len {self.config.max_len}")
-        token = self.token_embedding(ids)
-        if embedding_overrides is not None and len(embedding_overrides[0]) > 0:
-            positions, vectors = embedding_overrides
-            positions = np.asarray(positions)
-            if positions.ndim != 2 or positions.shape[1] != 2:
-                raise ValueError("positions must be (M, 2) of (row, col)")
-            keep = np.ones((batch, seq, 1))
-            keep[positions[:, 0], positions[:, 1], 0] = 0.0
-            # Route override row m to its (row, col) slot via a gather index.
-            gather = np.zeros((batch, seq), dtype=np.int64)
-            gather[positions[:, 0], positions[:, 1]] = np.arange(len(positions))
-            scattered = vectors.take_rows(gather) * Tensor(1.0 - keep)
-            token = token * Tensor(keep) + scattered
-        pos_ids = np.tile(np.arange(seq), (batch, 1))
-        embedded = token + self.position_embedding(pos_ids)
+        # One fused gather+scatter node instead of the former five-op
+        # keep-mask composition (see functional.fused_embedding).
+        embedded = F.fused_embedding(
+            self.token_embedding.weight, self.position_embedding.weight,
+            ids, overrides=embedding_overrides)
         return self.embedding_dropout(self.embedding_norm(embedded))
 
     def forward(self, ids: np.ndarray, attention_mask: np.ndarray | None = None,

@@ -39,6 +39,10 @@ class MultiHeadSelfAttention(Module):
         self.value = Linear(d_model, d_model, rng)
         self.output = Linear(d_model, d_model, rng)
         self.dropout = Dropout(dropout, rng)
+        # Scratch buffers for the fused attention-weight op, keyed by
+        # score shape; holds no graph-captured arrays, so reuse across
+        # (even concurrent) forwards is safe.
+        self._workspace: dict = {}
 
     def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
         # (B, T, D) -> (B, H, T, Dh)
@@ -52,13 +56,12 @@ class MultiHeadSelfAttention(Module):
         k = self._split_heads(self.key(x), batch, seq)
         v = self._split_heads(self.value(x), batch, seq)
 
-        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
         if mask_bias is None and attention_mask is not None:
             mask_bias = F.attention_scores_mask(attention_mask,
-                                                dtype=scores.dtype)
-        if mask_bias is not None:
-            scores = scores + Tensor(mask_bias)
-        weights = F.softmax(scores, axis=-1)
+                                                dtype=q.dtype)
+        weights = F.attention_weights(
+            q, k, 1.0 / math.sqrt(self.head_dim), mask_bias=mask_bias,
+            workspace=self._workspace)
         dropped = self.dropout(weights)
 
         context = dropped @ v  # (B, H, T, Dh)

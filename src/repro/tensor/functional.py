@@ -149,3 +149,136 @@ def attention_scores_mask(mask: np.ndarray, dtype=np.float64) -> np.ndarray:
     mask = np.asarray(mask)
     bias = np.where(mask > 0, 0.0, -1e9).astype(dtype)
     return bias[:, None, None, :]
+
+
+# ----------------------------------------------------------------------
+# Fused hot-path ops.  Unlike the compositions above, these hand-code the
+# backward pass to collapse several graph nodes (and their captured
+# intermediates) into one — worthwhile only where profiles show the
+# per-node Python overhead dominating: the encoder's embedding gather and
+# the attention-weight softmax.
+# ----------------------------------------------------------------------
+def fused_embedding(token_weight: Tensor, position_weight: Tensor,
+                    ids: np.ndarray,
+                    overrides: tuple[np.ndarray, Tensor] | None = None
+                    ) -> Tensor:
+    """Token + position embedding gather (plus override scatter) as one op.
+
+    Computes ``token_weight[ids] + position_weight[:seq]`` with the rows at
+    ``overrides = (positions, vectors)`` replaced by
+    ``vectors + position_weight[col]`` — exactly the encoder's five-node
+    gather / keep-mask / scatter / position-add composition, as a single
+    autograd node: forward is one fancy-index gather plus a broadcast add,
+    backward two ``np.add.at`` scatters.  ``positions`` is (M, 2) of
+    (row, col) pairs, assumed distinct (one per numeral occurrence).
+    """
+    ids = np.asarray(ids)
+    if ids.ndim != 2:
+        raise ValueError(f"ids must be (batch, seq), got shape {ids.shape}")
+    seq = ids.shape[1]
+    n_tokens = token_weight.data.shape[0]
+    if ids.size and (ids.min() < 0 or ids.max() >= n_tokens):
+        raise IndexError(f"embedding index out of range [0, {n_tokens})")
+    if seq > position_weight.data.shape[0]:
+        raise ValueError(
+            f"sequence length {seq} exceeds the position table "
+            f"({position_weight.data.shape[0]} rows)")
+    token_data = token_weight.data
+    position_data = position_weight.data
+    out = token_data[ids]            # (B, T, D) — becomes the node's output
+    out += position_data[:seq]       # broadcast over the batch axis
+    parents: list[Tensor] = [token_weight, position_weight]
+    positions = None
+    if overrides is not None and len(overrides[0]) > 0:
+        positions, vectors = overrides
+        positions = np.asarray(positions)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError("positions must be (M, 2) of (row, col)")
+        out[positions[:, 0], positions[:, 1]] = (
+            vectors.data + position_data[positions[:, 1]])
+        parents.append(vectors)
+
+    def backward(g):
+        g = np.asarray(g)
+        grad_token = np.zeros_like(token_data)
+        np.add.at(grad_token, ids, g)
+        grad_position = np.zeros_like(position_data)
+        grad_position[:seq] = g.sum(axis=0)
+        grads = [grad_token, grad_position]
+        if positions is not None:
+            rows, cols = positions[:, 0], positions[:, 1]
+            picked = g[rows, cols]
+            # Overridden slots never read the token table; take their
+            # scatter contribution back out.
+            np.subtract.at(grad_token, ids[rows, cols], picked)
+            grads.append(picked)
+        return tuple(grads)
+
+    return token_weight._make_child(out, tuple(parents), backward)
+
+
+def _lease_workspace(workspace: dict | None, shape: tuple[int, ...],
+                     dtype) -> np.ndarray:
+    """Borrow a scratch array from ``workspace`` (allocate on miss)."""
+    if workspace is None:
+        return np.empty(shape, dtype=dtype)
+    stack = workspace.get((shape, np.dtype(dtype).str))
+    if stack:
+        try:
+            return stack.pop()  # list.pop is atomic under the GIL
+        except IndexError:      # concurrent forwards drained it
+            pass
+    return np.empty(shape, dtype=dtype)
+
+
+def _release_workspace(workspace: dict | None, buffer: np.ndarray) -> None:
+    """Return a leased scratch array; keeps at most a few per shape."""
+    if workspace is None:
+        return
+    stack = workspace.setdefault((buffer.shape, buffer.dtype.str), [])
+    if len(stack) < 4:
+        stack.append(buffer)
+
+
+def attention_weights(q: Tensor, k: Tensor, scale: float,
+                      mask_bias: np.ndarray | None = None,
+                      workspace: dict | None = None) -> Tensor:
+    """``softmax(scale * q @ k^T + mask_bias)`` as a single autograd node.
+
+    Replaces the seven-node composition (matmul, scale, bias add, and the
+    four softmax sub-ops) that captured several ``(B, H, T, T)``
+    intermediates in the graph.  The scores buffer is leased from
+    ``workspace`` (a per-module dict) and returned before this function
+    exits — safe even across concurrent or re-entrant forwards, because the
+    backward needs only the output distribution and ``q``/``k``:
+
+    ``dS = W * (g - (g * W).sum(-1))``, ``dq = scale * dS @ k``,
+    ``dk = scale * dS^T @ q``.
+
+    Values are bit-identical to the composition (same numpy op sequence,
+    including the max-subtraction stabilisation).
+    """
+    q_data, k_data = q.data, k.data
+    shape = q_data.shape[:-1] + (k_data.shape[-2],)
+    scores = _lease_workspace(workspace, shape, q_data.dtype)
+    np.matmul(q_data, np.swapaxes(k_data, -1, -2), out=scores)
+    if scale != 1.0:
+        scores *= scale
+    if mask_bias is not None:
+        scores += mask_bias
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    weights = scores / scores.sum(axis=-1, keepdims=True)  # fresh output
+    _release_workspace(workspace, scores)
+
+    def backward(g):
+        g = np.asarray(g)
+        grad_scores = g * weights
+        grad_scores -= weights * grad_scores.sum(axis=-1, keepdims=True)
+        if scale != 1.0:
+            grad_scores *= scale
+        grad_q = grad_scores @ k_data
+        grad_k = np.swapaxes(grad_scores, -1, -2) @ q_data
+        return (grad_q, grad_k)
+
+    return q._make_child(weights, (q, k), backward)

@@ -25,6 +25,8 @@ _LAZY = {
     "RetrainingLog": ("repro.training.retrainer", "RetrainingLog"),
     "StepLosses": ("repro.training.retrainer", "StepLosses"),
     "GradientWorkerPool": ("repro.training.runtime", "GradientWorkerPool"),
+    "PoolSharedState": ("repro.training.shm", "PoolSharedState"),
+    "SharedArray": ("repro.training.shm", "SharedArray"),
     "RunJournal": ("repro.training.runtime", "RunJournal"),
     "RuntimeConfig": ("repro.training.runtime", "RuntimeConfig"),
     "SnapshotStore": ("repro.training.runtime", "SnapshotStore"),
@@ -49,8 +51,10 @@ __all__ = [
     "KTeleBertRetrainer",
     "MaskedBatch",
     "MtlStrategy",
+    "PoolSharedState",
     "RetrainingLog",
     "RunJournal",
+    "SharedArray",
     "RuntimeConfig",
     "SnapshotStore",
     "Stage2Data",

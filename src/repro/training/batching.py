@@ -37,12 +37,22 @@ class BatchIterator:
 
     def next_batch(self) -> list:
         """Return the next mini-batch (size may shrink at epoch boundary)."""
+        return self.next_batch_with_indices()[0]
+
+    def next_batch_with_indices(self) -> tuple[list, np.ndarray]:
+        """Next mini-batch plus the dataset indices of its items.
+
+        Consumes the cursor/RNG exactly like :meth:`next_batch`; the index
+        array lets the data-parallel runtime ship shard *indices* through
+        shared memory instead of pickling the items themselves.
+        """
         if self._cursor >= len(self.items):
             self._reshuffle()
         end = min(self._cursor + self.batch_size, len(self.items))
-        batch = [self.items[i] for i in self._order[self._cursor:end]]
+        indices = self._order[self._cursor:end].astype(np.int64, copy=True)
+        batch = [self.items[i] for i in indices]
         self._cursor = end
-        return batch
+        return batch, indices
 
     def state(self) -> dict:
         """JSON-serialisable iteration cursor (order, position, epoch).

@@ -133,13 +133,27 @@ class KTeleBertRetrainer:
     def draw_batches(self, tasks: frozenset) -> tuple[list | None,
                                                       list | None]:
         """Pull the mini-batches the active tasks need from the iterators."""
-        rows = self.mask_batches.next_batch() if TASK_MASK in tasks else None
-        triples = (self.ke_batches.next_batch()
-                   if TASK_KE in tasks and self.ke_batches is not None
-                   else None)
+        rows, _, triples, _ = self.draw_batches_with_indices(tasks)
+        return rows, triples
+
+    def draw_batches_with_indices(
+            self, tasks: frozenset) -> tuple[list | None, np.ndarray | None,
+                                             list | None, np.ndarray | None]:
+        """Like :meth:`draw_batches` but also returns the dataset indices.
+
+        Consumes the iterators identically (same RNG draws, same cursors),
+        so a run may switch freely between this and :meth:`draw_batches`
+        — e.g. when the runtime falls back from parallel to serial —
+        without changing the batch stream.
+        """
+        rows = row_indices = triples = triple_indices = None
+        if TASK_MASK in tasks:
+            rows, row_indices = self.mask_batches.next_batch_with_indices()
+        if TASK_KE in tasks and self.ke_batches is not None:
+            triples, triple_indices = self.ke_batches.next_batch_with_indices()
         if rows is None and triples is None:
             raise RuntimeError(f"no active task at step {self._step - 1}")
-        return rows, triples
+        return rows, row_indices, triples, triple_indices
 
     def compute_losses(self, rows: list | None,
                        triples: list | None) -> StepLosses:

@@ -14,12 +14,19 @@ capabilities the paper's longest loop needs to survive outside a notebook:
   trajectory is identical to the uninterrupted one.
 
 * **Multi-process data parallelism** — each step's batch is sharded across
-  N forked workers holding model replicas; workers run forward/backward on
-  their shard with a deterministic per-``(seed, worker, step)`` RNG and
-  return gradients that the parent averages (allreduce-by-mean, weighted
-  by shard size) before the usual clip + Adam update.  A straggler timeout
-  bounds the wait for any worker; on timeout or worker failure the runtime
-  degrades to the serial path and keeps training.
+  N persistent forked workers holding model replicas.  Parameters,
+  per-worker gradients, and the step's batch indices live in
+  ``multiprocessing.shared_memory`` blocks (:mod:`repro.training.shm`);
+  pipes carry only control tuples (step index, shard bounds) and scalar
+  losses, never arrays.  Workers run forward/backward on their shard with
+  a deterministic per-``(seed, worker, step)`` RNG; the parent reduces
+  gradient blocks as a shard-size-weighted mean in fixed worker order —
+  folding each block as soon as its worker reports, overlapping reduction
+  with the stragglers' compute — before the usual clip + Adam update.  A
+  straggler timeout bounds the wait for any worker; on timeout or worker
+  failure the runtime degrades to the serial path and keeps training,
+  retrying the pool after ``pool_retry_steps`` serial steps until
+  ``pool_max_failures`` consecutive failures disable it for the run.
 
 * **Run journal** — every step appends a structured JSONL event (step,
   loss breakdown, tokens/sec, wall time) to ``journal.jsonl``; lifecycle
@@ -41,6 +48,7 @@ import signal
 import time
 import traceback
 from dataclasses import dataclass, field
+from multiprocessing import connection
 from pathlib import Path
 
 import numpy as np
@@ -59,6 +67,7 @@ from repro.training.retrainer import (
     StepLosses,
     compute_stage2_losses,
 )
+from repro.training.shm import PoolSharedState
 
 JOURNAL_NAME = "journal.jsonl"
 SNAPSHOT_DIR = "snapshots"
@@ -213,7 +222,7 @@ class SnapshotStore:
 
 
 # ----------------------------------------------------------------------
-# Gradient worker pool (multi-process data parallelism)
+# Gradient worker pool (multi-process data parallelism over shared memory)
 # ----------------------------------------------------------------------
 def _flatten(arrays: list[np.ndarray]) -> np.ndarray:
     return np.concatenate([np.asarray(a).ravel() for a in arrays])
@@ -227,6 +236,27 @@ def _write_flat(flat: np.ndarray, targets: list) -> None:
         offset += size
 
 
+def _fill_flat(flat: np.ndarray, sources: list) -> None:
+    """Write parameter values into a preallocated flat vector in-place."""
+    offset = 0
+    for param in sources:
+        size = param.data.size
+        flat[offset:offset + size] = param.data.ravel()
+        offset += size
+
+
+def _fill_flat_grads(flat: np.ndarray, params: list) -> None:
+    """Write parameter gradients (zeros where absent) into ``flat``."""
+    offset = 0
+    for param in params:
+        size = param.data.size
+        if param.grad is None:
+            flat[offset:offset + size] = 0.0
+        else:
+            flat[offset:offset + size] = param.grad.ravel()
+        offset += size
+
+
 def _split_flat(flat: np.ndarray, like: list) -> list[np.ndarray]:
     out = []
     offset = 0
@@ -237,52 +267,67 @@ def _split_flat(flat: np.ndarray, like: list) -> list[np.ndarray]:
     return out
 
 
-def _worker_main(conn, model, masking_rate: float, base_seed: int,
+def _worker_main(conn, model, mask_rows: list, triple_rows: list,
+                 shared: PoolSharedState, base_seed: int,
                  worker_id: int) -> None:
-    """Worker loop: receive (params, shard), return averaged-ready grads.
+    """Worker loop: shared-memory params in, shared-memory gradients out.
 
-    Runs in a forked child, so ``model`` is this worker's private replica
-    of the parent model at pool-creation time; every step message carries
-    the current parameter vector, keeping replicas in sync with the
-    parent's optimizer.  The masking RNG is reseeded per
+    Runs in a forked child, so ``model``, the datasets, and the shared
+    blocks are all inherited without pickling.  Each control message names
+    a step and half-open bounds into the shared index block; the worker
+    refreshes its replica from the shared parameter block, materialises
+    its shard rows from the inherited datasets, runs forward/backward, and
+    writes its flattened gradient into its own shared block — the ``ok``
+    reply carries only scalar losses.  The masking RNG is reseeded per
     ``(base_seed, worker_id, step)`` so runs are reproducible and resumable
     regardless of which steps each worker served before.
     """
     params = model.parameters()
     model.train()
     masker = DynamicMasker(model.tokenizer.vocab, np.random.default_rng(0),
-                           masking_rate=masking_rate)
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, KeyboardInterrupt):
-            break
-        if message[0] == "stop":
-            break
-        _, step, flat_params, rows, triples = message
-        try:
-            _write_flat(flat_params, params)
-            for param in params:
-                param.zero_grad()
-            # Step-keyed streams make each worker's computation independent
-            # of which steps it served before — required for bit-exact
-            # resume of parallel runs.  Masking and dropout get distinct
-            # SeedSequence branches so their draws are uncorrelated.
-            masker.rng = np.random.default_rng([base_seed, worker_id, step])
-            model.rng.bit_generator.state = np.random.default_rng(
-                [base_seed, worker_id, step, 1]).bit_generator.state
-            losses = compute_stage2_losses(model, masker, rows, triples)
-            losses.total.backward()
-            grads = _flatten([param.grad if param.grad is not None
-                              else np.zeros_like(param.data)
-                              for param in params])
-            conn.send(("ok", step, grads,
-                       {"total": losses.value, "mask": losses.mask,
-                        "ke": losses.ke,
-                        "numeric_regression": losses.numeric_regression},
-                       losses.tokens))
-        except Exception:  # surfaced to the parent as WorkerPoolError
-            conn.send(("err", step, traceback.format_exc()))
+                           masking_rate=model.config.masking_rate)
+    param_block = shared.params.array
+    grad_block = shared.grads[worker_id].array
+    index_block = shared.indices.array
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError, KeyboardInterrupt):
+                break
+            if message[0] == "stop":
+                break
+            _, step, row_lo, row_hi, triple_lo, triple_hi = message
+            try:
+                _write_flat(param_block, params)
+                rows = [mask_rows[i] for i in index_block[row_lo:row_hi]]
+                triples = [triple_rows[i]
+                           for i in index_block[triple_lo:triple_hi]]
+                for param in params:
+                    param.zero_grad()
+                # Step-keyed streams make each worker's computation
+                # independent of which steps it served before — required
+                # for bit-exact resume of parallel runs.  Masking and
+                # dropout get distinct SeedSequence branches so their
+                # draws are uncorrelated.
+                masker.rng = np.random.default_rng(
+                    [base_seed, worker_id, step])
+                model.rng.bit_generator.state = np.random.default_rng(
+                    [base_seed, worker_id, step, 1]).bit_generator.state
+                losses = compute_stage2_losses(model, masker,
+                                               rows or None, triples or None)
+                losses.total.backward()
+                _fill_flat_grads(grad_block, params)
+                conn.send(("ok", step,
+                           {"total": losses.value, "mask": losses.mask,
+                            "ke": losses.ke,
+                            "numeric_regression":
+                                losses.numeric_regression},
+                           losses.tokens))
+            except Exception:  # surfaced to the parent as WorkerPoolError
+                conn.send(("err", step, traceback.format_exc()))
+    finally:
+        shared.release()
 
 
 @dataclass
@@ -293,34 +338,57 @@ class _WorkerHandle:
 
 
 class GradientWorkerPool:
-    """N forked replicas computing sharded forward/backward passes.
+    """N persistent forked replicas sharing parameters and gradients.
 
-    The parent broadcasts the flattened parameter vector and a shard of the
-    step's batches to each worker; workers reply with flattened gradients
-    which the parent combines as a shard-size-weighted mean — equivalent in
-    expectation to the serial gradient of the full batch.  ``fork`` start
-    method only (replicas inherit the model without pickling); callers fall
-    back to the serial path when fork is unavailable or startup fails.
+    The parent writes the flattened parameter vector into one shared-memory
+    block once per step and the step's batch indices into a small shared
+    index block; each worker computes forward/backward over its shard and
+    writes its flattened gradient into its own shared block.  Pipes carry
+    only tiny control tuples — step index and shard bounds out, scalar
+    losses back — never arrays, so per-step cost is the compute itself
+    rather than pickling a model-sized payload per worker.
+
+    The parent reduces worker gradients as a shard-size-weighted mean —
+    equivalent in expectation to the serial gradient of the full batch.
+    Reduction overlaps compute: worker *i*'s block is folded into the sum
+    as soon as it reports in (in fixed worker order, so the float sum is
+    deterministic) while later workers are still computing.  ``fork``
+    start method only (replicas inherit the model and datasets without
+    pickling); callers fall back to the serial path when fork is
+    unavailable or startup fails.
     """
 
     def __init__(self, model, num_workers: int, base_seed: int,
-                 straggler_timeout_s: float = 120.0):
+                 straggler_timeout_s: float = 120.0, *,
+                 mask_rows: list | None = None,
+                 triple_rows: list | None = None,
+                 index_capacity: int = 64):
         if num_workers < 2:
             raise ValueError("a worker pool needs at least 2 workers")
+        self._workers: list[_WorkerHandle] = []
+        self._shared: PoolSharedState | None = None
         if "fork" not in multiprocessing.get_all_start_methods():
             raise WorkerPoolError("fork start method unavailable")
         self._params = model.parameters()
         self.num_workers = num_workers
         self.straggler_timeout_s = straggler_timeout_s
+        mask_rows = list(mask_rows) if mask_rows else []
+        triple_rows = list(triple_rows) if triple_rows else []
+        param_size = sum(p.data.size for p in self._params)
         context = multiprocessing.get_context("fork")
-        self._workers: list[_WorkerHandle] = []
         try:
+            self._shared = PoolSharedState(param_size, num_workers,
+                                           index_capacity)
+            # Preallocated reduction buffers: the hot path never allocates
+            # (or pickles) a parameter-sized array.
+            self._reduced = np.zeros(param_size)
+            self._scratch = np.zeros(param_size)
             for worker_id in range(num_workers):
                 parent_conn, child_conn = context.Pipe()
                 process = context.Process(
                     target=_worker_main,
-                    args=(child_conn, model, model.config.masking_rate,
-                          base_seed, worker_id),
+                    args=(child_conn, model, mask_rows, triple_rows,
+                          self._shared, base_seed, worker_id),
                     daemon=True)
                 process.start()
                 child_conn.close()
@@ -330,32 +398,58 @@ class GradientWorkerPool:
             self.close()
             raise WorkerPoolError(f"worker startup failed: {error}") from error
 
-    @staticmethod
-    def _shard(items: list | None, count: int) -> list[list]:
-        if not items:
-            return [[] for _ in range(count)]
-        bounds = np.linspace(0, len(items), count + 1).astype(int)
-        return [items[bounds[i]:bounds[i + 1]] for i in range(count)]
+    @property
+    def segment_names(self) -> list[str]:
+        """Live shared-memory segment names (for leak checks)."""
+        return self._shared.segment_names if self._shared is not None else []
 
-    def step(self, step_index: int, rows: list | None,
-             triples: list | None) -> tuple[list[np.ndarray], StepLosses]:
+    @staticmethod
+    def _shard_bounds(count: int, workers: int) -> np.ndarray:
+        return np.linspace(0, count, workers + 1).astype(int)
+
+    def step(self, step_index: int, row_indices, triple_indices
+             ) -> tuple[list[np.ndarray], StepLosses]:
         """One data-parallel forward/backward; returns (grads, losses).
 
-        Raises :class:`WorkerPoolError` on worker failure or straggler
-        timeout; the caller is expected to fall back to the serial path.
+        ``row_indices`` / ``triple_indices`` are the dataset indices of the
+        step's drawn batches (``None`` for an inactive task).  The returned
+        gradient arrays are views into the pool's reduction buffer and stay
+        valid until the next :meth:`step` call.  Raises
+        :class:`WorkerPoolError` on worker failure or straggler timeout;
+        the caller is expected to fall back to the serial path.
         """
-        flat_params = _flatten([p.data for p in self._params])
-        row_shards = self._shard(rows, self.num_workers)
-        triple_shards = self._shard(triples, self.num_workers)
+        if self._shared is None:
+            raise WorkerPoolError("pool is closed")
+        rows = np.asarray(row_indices if row_indices is not None else [],
+                          dtype=np.int64)
+        triples = np.asarray(
+            triple_indices if triple_indices is not None else [],
+            dtype=np.int64)
+        n_rows, n_triples = len(rows), len(triples)
+        if n_rows + n_triples > self._shared.index_capacity:
+            raise WorkerPoolError(
+                f"{n_rows + n_triples} batch indices exceed the shared "
+                f"index capacity {self._shared.index_capacity}")
+        # Publish this step's parameters and batch indices; workers read
+        # both straight out of shared memory.
+        _fill_flat(self._shared.params.array, self._params)
+        index_block = self._shared.indices.array
+        index_block[:n_rows] = rows
+        index_block[n_rows:n_rows + n_triples] = triples
+
+        row_bounds = self._shard_bounds(n_rows, self.num_workers)
+        triple_bounds = self._shard_bounds(n_triples, self.num_workers)
         active: list[tuple[_WorkerHandle, int]] = []
-        for handle, row_shard, triple_shard in zip(self._workers, row_shards,
-                                                   triple_shards):
-            weight = len(row_shard) + len(triple_shard)
+        for i, handle in enumerate(self._workers):
+            row_lo, row_hi = int(row_bounds[i]), int(row_bounds[i + 1])
+            triple_lo = n_rows + int(triple_bounds[i])
+            triple_hi = n_rows + int(triple_bounds[i + 1])
+            weight = (row_hi - row_lo) + (triple_hi - triple_lo)
             if weight == 0:
                 continue
             try:
-                handle.conn.send(("step", step_index, flat_params,
-                                  row_shard, triple_shard))
+                handle.conn.send(("step", step_index, row_lo, row_hi,
+                                  triple_lo, triple_hi))
             except (OSError, ValueError) as error:
                 raise WorkerPoolError(
                     f"worker {handle.worker_id} unreachable: "
@@ -366,37 +460,74 @@ class GradientWorkerPool:
 
         total_weight = float(sum(w for _, w in active))
         deadline = time.monotonic() + self.straggler_timeout_s
-        grads_sum: np.ndarray | None = None
         losses = {"total": 0.0, "mask": 0.0, "ke": 0.0,
                   "numeric_regression": 0.0}
         tokens = 0
-        for handle, weight in active:
+        reduced = self._reduced
+        reduced[:] = 0.0
+        pending = {handle.conn: (handle, weight)
+                   for handle, weight in active}
+        replies: dict[int, tuple] = {}
+        folded = 0
+        # Fold gradients in fixed worker order (deterministic float sum)
+        # but start folding as soon as the next-in-order worker reports —
+        # worker i's block is reduced while worker j still computes.
+        while folded < len(active):
+            while (folded < len(active)
+                   and active[folded][0].worker_id in replies):
+                handle, weight = active[folded]
+                share = weight / total_weight
+                np.multiply(self._shared.grads[handle.worker_id].array,
+                            share, out=self._scratch)
+                reduced += self._scratch
+                parts, shard_tokens = replies.pop(handle.worker_id)
+                for key in losses:
+                    losses[key] += parts[key] * share
+                tokens += shard_tokens
+                folded += 1
+            if folded >= len(active):
+                break
             remaining = deadline - time.monotonic()
-            if remaining <= 0 or not handle.conn.poll(remaining):
+            if remaining <= 0:
                 raise WorkerPoolError(
-                    f"straggler: worker {handle.worker_id} exceeded "
-                    f"{self.straggler_timeout_s:.1f}s")
-            reply = handle.conn.recv()
-            if reply[0] != "ok":
+                    f"straggler: worker {active[folded][0].worker_id} "
+                    f"exceeded {self.straggler_timeout_s:.1f}s")
+            ready = connection.wait(list(pending), timeout=remaining)
+            if not ready:
                 raise WorkerPoolError(
-                    f"worker {handle.worker_id} failed at step "
-                    f"{step_index}:\n{reply[2]}")
-            _, _, grads, parts, shard_tokens = reply
-            share = weight / total_weight
-            grads_sum = (grads * share if grads_sum is None
-                         else grads_sum + grads * share)
-            for key in losses:
-                losses[key] += parts[key] * share
-            tokens += shard_tokens
+                    f"straggler: worker {active[folded][0].worker_id} "
+                    f"exceeded {self.straggler_timeout_s:.1f}s")
+            for conn in ready:
+                handle, _weight = pending.pop(conn)
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError) as error:
+                    raise WorkerPoolError(
+                        f"worker {handle.worker_id} died mid-step: "
+                        f"{error!r}") from error
+                if reply[0] != "ok":
+                    raise WorkerPoolError(
+                        f"worker {handle.worker_id} failed at step "
+                        f"{step_index}:\n{reply[2]}")
+                _, reply_step, parts, shard_tokens = reply
+                if reply_step != step_index:
+                    raise WorkerPoolError(
+                        f"worker {handle.worker_id} answered step "
+                        f"{reply_step}, expected {step_index}")
+                replies[handle.worker_id] = (parts, shard_tokens)
         step_losses = StepLosses(total=Tensor(losses["total"]),
                                  mask=losses["mask"], ke=losses["ke"],
                                  numeric_regression=losses[
                                      "numeric_regression"],
                                  tokens=tokens)
-        return _split_flat(grads_sum, self._params), step_losses
+        return _split_flat(reduced, self._params), step_losses
 
     def close(self) -> None:
-        """Stop and join every worker (terminating unresponsive ones)."""
+        """Stop and join every worker, then unlink the shared segments.
+
+        Idempotent, and safe after worker crashes: the parent owns the
+        segments, so they are removed even when children died hard.
+        """
         for handle in self._workers:
             try:
                 handle.conn.send(("stop",))
@@ -409,6 +540,9 @@ class GradientWorkerPool:
                 handle.process.join(timeout=2.0)
             handle.conn.close()
         self._workers = []
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
 
     def __enter__(self) -> "GradientWorkerPool":
         return self
@@ -430,6 +564,12 @@ class RuntimeConfig:
     checkpoint_every_s: float | None = None
     keep_last: int = 3
     straggler_timeout_s: float = 120.0
+    #: After a pool failure, train serially for this many steps then try to
+    #: rebuild the pool; ``0`` disables retries (first failure is final).
+    pool_retry_steps: int = 50
+    #: Consecutive pool failures after which parallelism is disabled for
+    #: the rest of the run.
+    pool_max_failures: int = 3
     handle_signals: bool = True
     extra: dict = field(default_factory=dict)  # recorded in every snapshot
 
@@ -447,8 +587,11 @@ class TrainingRuntime:
                                        keep_last=config.keep_last)
         self._pool: GradientWorkerPool | None = None
         self._parallel_disabled = False
+        self._pool_failures = 0       # consecutive failures so far
+        self._retry_countdown = 0     # serial steps left before a rebuild
         self._stop_signal: int | None = None
         self._last_checkpoint_time = time.monotonic()
+        self._last_checkpoint_step: int | None = None
         self.interrupted = False
 
     # -- resume --------------------------------------------------------
@@ -476,6 +619,7 @@ class TrainingRuntime:
             extra={"reason": reason, "mtl_phase": tasks,
                    "workers": self.config.workers, **self.config.extra})
         self._last_checkpoint_time = time.monotonic()
+        self._last_checkpoint_step = step
         self.journal.append("checkpoint", step=step, loss=loss,
                             path=path.name, reason=reason)
         return path
@@ -515,23 +659,59 @@ class TrainingRuntime:
     def _ensure_pool(self) -> GradientWorkerPool | None:
         if self.config.workers < 2 or self._parallel_disabled:
             return None
-        if self._pool is None:
-            try:
-                self._pool = GradientWorkerPool(
-                    self.retrainer.model, self.config.workers,
-                    base_seed=self.retrainer.seed,
-                    straggler_timeout_s=self.config.straggler_timeout_s)
-            except WorkerPoolError as error:
-                self._degrade(f"pool startup failed: {error}")
+        if self._pool is not None:
+            return self._pool
+        if self._retry_countdown > 0:
+            # Cooling down after a failure: train serially, count down to
+            # the rebuild attempt.
+            self._retry_countdown -= 1
+            return None
+        retrainer = self.retrainer
+        rebuilding = self._pool_failures > 0
+        index_capacity = retrainer.mask_batches.batch_size + (
+            retrainer.ke_batches.batch_size
+            if retrainer.ke_batches is not None else 0)
+        try:
+            self._pool = GradientWorkerPool(
+                retrainer.model, self.config.workers,
+                base_seed=retrainer.seed,
+                straggler_timeout_s=self.config.straggler_timeout_s,
+                mask_rows=retrainer.data.mask_rows,
+                triple_rows=retrainer.data.triple_rows,
+                index_capacity=index_capacity)
+        except WorkerPoolError as error:
+            self._degrade(f"pool startup failed: {error}")
+            return None
+        if rebuilding:
+            self.journal.append("pool_rebuilt", step=retrainer.step_index,
+                                after_failures=self._pool_failures)
         return self._pool
 
     def _degrade(self, reason: str) -> None:
-        self._parallel_disabled = True
+        """Fall back to serial after a pool failure.
+
+        Failures are counted consecutively (a successful parallel step
+        resets the count).  Until ``pool_max_failures`` is reached the
+        fallback is temporary: after ``pool_retry_steps`` serial steps the
+        pool is rebuilt.  ``pool_retry_steps=0`` keeps the pre-retry
+        behaviour of disabling parallelism on the first failure.
+        """
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        self._pool_failures += 1
+        retry_steps = self.config.pool_retry_steps
+        permanent = (retry_steps <= 0
+                     or self._pool_failures >= self.config.pool_max_failures)
+        if permanent:
+            self._parallel_disabled = True
+        else:
+            self._retry_countdown = retry_steps
         self.journal.append("fallback_serial", reason=reason,
-                            step=self.retrainer.step_index)
+                            step=self.retrainer.step_index,
+                            failures=self._pool_failures,
+                            permanent=permanent,
+                            retry_in_steps=None if permanent else retry_steps)
 
     def train_step(self) -> StepLosses:
         """One runtime step: parallel when possible, serial otherwise."""
@@ -547,10 +727,12 @@ class TrainingRuntime:
             return losses
 
         tasks = retrainer.advance()
-        rows, triples = retrainer.draw_batches(tasks)
+        rows, row_indices, triples, triple_indices = (
+            retrainer.draw_batches_with_indices(tasks))
         step_index = retrainer.step_index - 1
         try:
-            grads, losses = pool.step(step_index, rows, triples)
+            grads, losses = pool.step(step_index, row_indices,
+                                      triple_indices)
         except WorkerPoolError as error:
             self._degrade(str(error))
             retrainer.optimizer.zero_grad()
@@ -558,9 +740,13 @@ class TrainingRuntime:
             losses.total.backward()
             retrainer.finish_step(losses)
             return losses
+        self._pool_failures = 0
         retrainer.optimizer.zero_grad()
         for param, grad in zip(retrainer.optimizer.parameters, grads):
-            param.grad = grad.copy()
+            # Views into the pool's reduction buffer: consumed synchronously
+            # by clip + Adam below, and only rewritten by the next
+            # pool.step, so the hot path skips a parameter-sized copy.
+            param.grad = grad
         retrainer.finish_step(losses)
         return losses
 
@@ -570,7 +756,11 @@ class TrainingRuntime:
 
         Returns the loss log; ``self.interrupted`` tells apart a clean
         completion from a signal-triggered stop (which leaves behind a
-        final checkpoint and an ``interrupted`` journal event).
+        final checkpoint and an ``interrupted`` journal event).  Exiting
+        via ``max_steps`` also checkpoints (reason ``"max_steps"``, deduped
+        against a cadence checkpoint at the same step) and journals
+        ``run_paused``, so a bounded run is always resumable from its last
+        completed step.
         """
         retrainer = self.retrainer
         retrainer.model.train()
@@ -587,6 +777,15 @@ class TrainingRuntime:
         try:
             while retrainer.step_index < total_steps:
                 if max_steps is not None and steps_done >= max_steps:
+                    # A bounded run is a pause, not a completion: snapshot
+                    # here (unless the cadence checkpoint just did) so
+                    # resuming continues from exactly this step instead of
+                    # silently losing the steps since the last cadence hit.
+                    if self._last_checkpoint_step != retrainer.step_index:
+                        self.checkpoint(reason="max_steps")
+                    self.journal.append("run_paused",
+                                        step=retrainer.step_index,
+                                        steps_done=steps_done)
                     break
                 if self._stop_signal is not None:
                     self.interrupted = True

@@ -35,10 +35,35 @@ from repro.training.runtime import (
     TrainingRuntime,
     WorkerPoolError,
 )
+from repro.training.shm import PoolSharedState, SharedArray
 from repro.training.stage2 import build_stage2_data
 from repro.world import TelecomWorld
 
 HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def make_pool(retrainer, num_workers=2, **kwargs):
+    """Build a GradientWorkerPool wired like TrainingRuntime does."""
+    capacity = retrainer.mask_batches.batch_size + (
+        retrainer.ke_batches.batch_size
+        if retrainer.ke_batches is not None else 0)
+    return GradientWorkerPool(
+        retrainer.model, num_workers, base_seed=retrainer.seed,
+        mask_rows=retrainer.data.mask_rows,
+        triple_rows=retrainer.data.triple_rows,
+        index_capacity=capacity, **kwargs)
+
+
+def segment_gone(name: str) -> bool:
+    """True when the named shared-memory segment no longer exists."""
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    segment.close()
+    return False
 
 
 # ----------------------------------------------------------------------
@@ -308,14 +333,18 @@ class TestKillAndResume:
         # Reference: one uninterrupted run.
         reference, _ = _run_to_completion(stack, tmp_path / "ref")
 
-        # Interrupted run: stop after 3 of 6 steps (cadence checkpoints at
-        # steps 2 — the step-3 progress since then is intentionally lost).
+        # Interrupted run: stop after 3 of 6 steps.  Cadence checkpointed
+        # at step 2; the max_steps exit checkpoints step 3 as well, so no
+        # completed progress is lost.
         first = make_retrainer(stack)
         runtime = TrainingRuntime(first, RuntimeConfig(
             run_dir=tmp_path / "run", workers=1, checkpoint_every_steps=2,
             handle_signals=False))
         runtime.run(max_steps=3)
         assert runtime.journal.is_interrupted()
+        reasons = [e["reason"] for e in runtime.journal.events()
+                   if e["kind"] == "checkpoint"]
+        assert reasons == ["cadence", "max_steps"]
 
         # Resume in a brand-new process stand-in: a fresh, identically
         # built loop restored from the latest snapshot.
@@ -324,7 +353,7 @@ class TestKillAndResume:
             run_dir=tmp_path / "run", workers=1, checkpoint_every_steps=2,
             handle_signals=False))
         resumed_step = resumed.resume_if_available()
-        assert resumed_step == 2
+        assert resumed_step == 3
         resumed.run()
 
         assert second.log.total == reference.log.total
@@ -354,6 +383,11 @@ class TestKillAndResume:
             run_dir=tmp_path / "run", workers=2, checkpoint_every_steps=2,
             handle_signals=False))
         runtime.run(max_steps=2)
+        # The cadence checkpoint already covered step 2, so the max_steps
+        # exit must not write a duplicate snapshot of the same step.
+        checkpoints = [e for e in runtime.journal.events()
+                       if e["kind"] == "checkpoint"]
+        assert [e["reason"] for e in checkpoints] == ["cadence"]
 
         second = make_retrainer(stack)
         resumed = TrainingRuntime(second, RuntimeConfig(
@@ -415,6 +449,305 @@ class TestWorkerPool:
         events = runtime.journal.events()
         fallbacks = [e for e in events if e["kind"] == "fallback_serial"]
         assert fallbacks and "straggler" in fallbacks[0]["reason"]
+
+    @pytest.mark.slow
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_worker_death_mid_step_raises_pool_error(self, stack):
+        """A killed worker must surface as WorkerPoolError, not EOFError."""
+        retrainer = make_retrainer(stack)
+        pool = make_pool(retrainer)
+        names = pool.segment_names
+        try:
+            tasks = retrainer.advance()
+            _, row_idx, _, triple_idx = (
+                retrainer.draw_batches_with_indices(tasks))
+            grads, losses = pool.step(0, row_idx, triple_idx)
+            assert np.isfinite(losses.value)
+
+            victim = pool._workers[0].process
+            victim.kill()
+            victim.join(timeout=10)
+            tasks = retrainer.advance()
+            _, row_idx, _, triple_idx = (
+                retrainer.draw_batches_with_indices(tasks))
+            with pytest.raises(WorkerPoolError):
+                pool.step(1, row_idx, triple_idx)
+        finally:
+            pool.close()
+        # The parent owns the segments: a crashed worker leaks nothing.
+        assert all(segment_gone(name) for name in names)
+
+    @pytest.mark.slow
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_kill_worker_mid_run_degrades_to_serial(self, stack, tmp_path):
+        """The run survives a worker kill: journaled fallback, no crash."""
+        retrainer = make_retrainer(stack, total_steps=4)
+        runtime = TrainingRuntime(retrainer, RuntimeConfig(
+            run_dir=tmp_path / "run", workers=2, handle_signals=False))
+        runtime.train_step()
+        names = runtime._pool.segment_names
+        victim = runtime._pool._workers[0].process
+        victim.kill()
+        victim.join(timeout=10)
+
+        log = runtime.run()
+        assert len(log.total) == 4
+        assert all(np.isfinite(v) for v in log.total)
+        kinds = [e["kind"] for e in runtime.journal.events()]
+        assert "fallback_serial" in kinds
+        assert kinds[-1] == "run_complete"
+        assert all(segment_gone(name) for name in names)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_pipes_carry_only_small_control_messages(self, stack):
+        """The hot path never pickles arrays: control tuples only."""
+        import pickle
+
+        class SpyConn:
+            def __init__(self, conn, log):
+                self._conn = conn
+                self._log = log
+
+            def send(self, obj):
+                self._log.append(obj)
+                self._conn.send(obj)
+
+            def recv(self):
+                obj = self._conn.recv()
+                self._log.append(obj)
+                return obj
+
+            def __getattr__(self, name):  # poll/fileno/close passthrough
+                return getattr(self._conn, name)
+
+        def has_array(obj):
+            if isinstance(obj, np.ndarray):
+                return True
+            if isinstance(obj, (list, tuple, set)):
+                return any(has_array(item) for item in obj)
+            if isinstance(obj, dict):
+                return any(has_array(v) for v in obj.values())
+            return False
+
+        retrainer = make_retrainer(stack)
+        pool = make_pool(retrainer)
+        messages: list = []
+        try:
+            for handle in pool._workers:
+                handle.conn = SpyConn(handle.conn, messages)
+            for step in range(2):
+                tasks = retrainer.advance()
+                _, row_idx, _, triple_idx = (
+                    retrainer.draw_batches_with_indices(tasks))
+                pool.step(step, row_idx, triple_idx)
+        finally:
+            pool.close()
+        assert messages
+        for message in messages:
+            assert not has_array(message), message
+            assert len(pickle.dumps(message)) < 1024
+
+    @pytest.mark.slow
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_parallel_grads_match_serial_emulation(self, stack):
+        """The shared-memory reduction equals the per-shard math in-process."""
+        from repro.training.masking import DynamicMasker
+        from repro.training.retrainer import compute_stage2_losses
+
+        retrainer = make_retrainer(stack)
+        model = retrainer.model
+        params = model.parameters()
+        num_workers = 2
+        pool = make_pool(retrainer, num_workers=num_workers)
+        try:
+            tasks = retrainer.advance()
+            rows, row_idx, triples, triple_idx = (
+                retrainer.draw_batches_with_indices(tasks))
+            step = retrainer.step_index - 1
+            grads, _ = pool.step(step, row_idx, triple_idx)
+            reduced = np.concatenate([g.ravel() for g in grads])
+        finally:
+            pool.close()
+
+        # Emulate each worker in the parent with the same step-keyed RNG
+        # streams, then form the same shard-weighted mean.
+        saved_model_rng = model.rng.bit_generator.state
+        rows = rows or []
+        triples = triples or []
+
+        def bounds(n):
+            return np.linspace(0, n, num_workers + 1).astype(int)
+
+        row_bounds, triple_bounds = bounds(len(rows)), bounds(len(triples))
+        shards = []
+        for wid in range(num_workers):
+            shard_rows = rows[row_bounds[wid]:row_bounds[wid + 1]]
+            shard_triples = triples[triple_bounds[wid]:
+                                    triple_bounds[wid + 1]]
+            weight = len(shard_rows) + len(shard_triples)
+            if weight:
+                shards.append((wid, shard_rows, shard_triples, weight))
+        total_weight = sum(w for *_, w in shards)
+        expected = np.zeros_like(reduced)
+        for wid, shard_rows, shard_triples, weight in shards:
+            masker = DynamicMasker(model.tokenizer.vocab,
+                                   np.random.default_rng(0),
+                                   masking_rate=model.config.masking_rate)
+            masker.rng = np.random.default_rng([retrainer.seed, wid, step])
+            model.rng.bit_generator.state = np.random.default_rng(
+                [retrainer.seed, wid, step, 1]).bit_generator.state
+            for param in params:
+                param.zero_grad()
+            losses = compute_stage2_losses(model, masker,
+                                           shard_rows or None,
+                                           shard_triples or None)
+            losses.total.backward()
+            flat = np.concatenate(
+                [(param.grad if param.grad is not None
+                  else np.zeros_like(param.data)).ravel()
+                 for param in params])
+            expected += flat * (weight / total_weight)
+        for param in params:
+            param.zero_grad()
+        model.rng.bit_generator.state = saved_model_rng
+
+        assert np.isfinite(expected).all()
+        np.testing.assert_allclose(reduced, expected, rtol=1e-12, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory lifecycle
+# ----------------------------------------------------------------------
+class TestSharedMemory:
+    def test_shared_array_close_unlinks(self):
+        array = SharedArray((8,))
+        array.array[:] = np.arange(8)
+        name = array.name
+        assert not segment_gone(name)
+        array.close()
+        assert segment_gone(name)
+        array.close()  # idempotent
+
+    def test_pool_state_close_unlinks_every_block(self):
+        state = PoolSharedState(param_size=16, num_workers=3,
+                                index_capacity=8)
+        names = state.segment_names
+        assert len(names) == 5  # params + 3 grads + indices
+        state.close()
+        assert all(segment_gone(name) for name in names)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_pool_close_removes_segments(self, stack):
+        retrainer = make_retrainer(stack)
+        pool = make_pool(retrainer)
+        names = pool.segment_names
+        assert names and not any(segment_gone(name) for name in names)
+        pool.close()
+        assert all(segment_gone(name) for name in names)
+        with pytest.raises(WorkerPoolError):
+            pool.step(0, [0], None)
+
+
+# ----------------------------------------------------------------------
+# Pool retry / re-enable semantics
+# ----------------------------------------------------------------------
+class TestPoolRetry:
+    def test_repeated_failures_disable_parallelism(self, stack, tmp_path,
+                                                   monkeypatch):
+        calls = {"count": 0}
+
+        def broken_pool(*args, **kwargs):
+            calls["count"] += 1
+            raise WorkerPoolError("injected failure")
+
+        monkeypatch.setattr("repro.training.runtime.GradientWorkerPool",
+                            broken_pool)
+        retrainer = make_retrainer(stack, total_steps=6)
+        runtime = TrainingRuntime(retrainer, RuntimeConfig(
+            run_dir=tmp_path / "run", workers=4, pool_retry_steps=1,
+            pool_max_failures=2, handle_signals=False))
+        log = runtime.run()
+        assert len(log.total) == 6
+        fallbacks = [e for e in runtime.journal.events()
+                     if e["kind"] == "fallback_serial"]
+        assert [e["permanent"] for e in fallbacks] == [False, True]
+        assert fallbacks[0]["retry_in_steps"] == 1
+        assert fallbacks[1]["failures"] == 2
+        # step 0 fails, step 1 cools down, step 2 retries and fails for
+        # good: no further build attempts after the permanent disable.
+        assert calls["count"] == 2
+
+    def test_zero_retry_steps_keeps_first_failure_final(self, stack,
+                                                        tmp_path,
+                                                        monkeypatch):
+        calls = {"count": 0}
+
+        def broken_pool(*args, **kwargs):
+            calls["count"] += 1
+            raise WorkerPoolError("injected failure")
+
+        monkeypatch.setattr("repro.training.runtime.GradientWorkerPool",
+                            broken_pool)
+        retrainer = make_retrainer(stack, total_steps=4)
+        runtime = TrainingRuntime(retrainer, RuntimeConfig(
+            run_dir=tmp_path / "run", workers=4, pool_retry_steps=0,
+            handle_signals=False))
+        runtime.run()
+        fallbacks = [e for e in runtime.journal.events()
+                     if e["kind"] == "fallback_serial"]
+        assert [e["permanent"] for e in fallbacks] == [True]
+        assert calls["count"] == 1
+
+    @pytest.mark.slow
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_transient_failure_reenables_parallelism(self, stack, tmp_path,
+                                                     monkeypatch):
+        import repro.training.runtime as runtime_mod
+
+        real_pool = GradientWorkerPool
+        calls = {"count": 0}
+
+        def flaky_pool(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise WorkerPoolError("injected transient failure")
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(runtime_mod, "GradientWorkerPool", flaky_pool)
+        retrainer = make_retrainer(stack, total_steps=5)
+        runtime = TrainingRuntime(retrainer, RuntimeConfig(
+            run_dir=tmp_path / "run", workers=2, pool_retry_steps=1,
+            handle_signals=False))
+        log = runtime.run()
+        assert len(log.total) == 5
+        events = runtime.journal.events()
+        fallbacks = [e for e in events if e["kind"] == "fallback_serial"]
+        rebuilds = [e for e in events if e["kind"] == "pool_rebuilt"]
+        # One transient failure, one cooldown step, then parallel again.
+        assert [e["permanent"] for e in fallbacks] == [False]
+        assert len(rebuilds) == 1
+        assert rebuilds[0]["after_failures"] == 1
+        assert calls["count"] == 2
+
+
+# ----------------------------------------------------------------------
+# max_steps checkpoint semantics
+# ----------------------------------------------------------------------
+class TestMaxStepsCheckpoint:
+    def test_max_steps_exit_writes_a_checkpoint(self, stack, tmp_path):
+        retrainer = make_retrainer(stack, total_steps=6)
+        runtime = TrainingRuntime(retrainer, RuntimeConfig(
+            run_dir=tmp_path / "run", checkpoint_every_steps=50,
+            handle_signals=False))
+        runtime.run(max_steps=3)
+        events = runtime.journal.events()
+        checkpoints = [e for e in events if e["kind"] == "checkpoint"]
+        assert ([(e["reason"], e["step"]) for e in checkpoints]
+                == [("max_steps", 3)])
+        assert events[-1]["kind"] == "run_paused"
+        assert runtime.journal.is_interrupted()
+        latest = runtime.snapshots.load_latest()
+        assert latest is not None and latest.step == 3
 
 
 # ----------------------------------------------------------------------
