@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-slow lint lint-repro bench gradcheck \
+.PHONY: install test test-fast test-slow lint lint-repro bench \
+	bench-quick bench-check bench-report bench-promote gradcheck \
 	reproduce report api serve-smoke serve-net-smoke train-smoke clean
 
 install:
@@ -32,6 +33,30 @@ lint-repro:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The four quick-mode suites the CI slow tier runs: each emits its
+# BENCH_<name>.json through the shared repro.bench emitter, feeding the
+# regression gate below.
+bench-quick:
+	$(PYTHON) -m pytest \
+	  benchmarks/test_train_step_throughput.py \
+	  benchmarks/test_serving_throughput.py \
+	  benchmarks/test_serving_degradation.py \
+	  benchmarks/test_netserve_load.py -q -rs
+
+# CI regression gate: compare BENCH_*.json against the committed
+# baselines; exits non-zero on any out-of-tolerance regression.
+bench-check:
+	$(PYTHON) -m repro bench check
+
+# Markdown trend report (sparklines per metric) from the history store.
+bench-report:
+	$(PYTHON) -m repro bench report
+
+# Intentionally move the baselines to the current results (journaled in
+# benchmarks/baselines/promotions.jsonl).  Pass NOTE="why".
+bench-promote:
+	$(PYTHON) -m repro bench promote --note "$(NOTE)"
 
 # Finite-difference verification of every layer/loss gradient
 # (repro.diagnostics sweep; exits non-zero on any mismatch).

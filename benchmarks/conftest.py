@@ -6,7 +6,11 @@ Set ``REPRO_BENCH_SEEDS`` (comma-separated, default ``0,1``) to average the
 result tables over more seeds — smoother orderings at proportional cost.
 
 Every benchmark writes its rendered table to ``benchmarks/results/`` so the
-paper-vs-measured comparison is inspectable after the run.
+paper-vs-measured comparison is inspectable after the run.  Suites with
+registered metrics additionally emit structured ``BENCH_<name>.json``
+through the shared :mod:`repro.bench` emitter (the ``record_bench``
+fixture), which also appends the run to ``results/history/<name>.jsonl``
+for the trend report and CI regression gate.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.bench import record_metrics
 from repro.experiments import ExperimentPipeline, PipelineConfig
 
 
@@ -39,6 +44,21 @@ def results_dir() -> Path:
     path = Path(__file__).parent / "results"
     path.mkdir(exist_ok=True)
     return path
+
+
+@pytest.fixture(scope="session")
+def record_bench(results_dir):
+    """Emit metrics into ``BENCH_<name>.json`` via the shared emitter.
+
+    Merge-by-metric semantics: each test contributes its own metrics, so
+    the result file stays complete even when only a subset of a module
+    runs.  The benchmark id must be registered in
+    :mod:`repro.bench.registry`.
+    """
+    def _record(bench_id: str, metrics: dict, config: dict | None = None):
+        return record_metrics(results_dir, bench_id, metrics,
+                              config=config)
+    return _record
 
 
 def save_and_print(results_dir: Path, name: str, text: str) -> None:

@@ -13,21 +13,19 @@ generator (``repro.loadgen``) through two scenarios:
   and that the frontend never stops answering.
 
 Writes ``benchmarks/results/netserve_load.txt`` (human-readable) and
-``benchmarks/results/BENCH_netserve_load.json`` (machine-readable:
-metric/value pairs plus config, git sha, and date) — the JSON shape
-seeds the benchmark-registry roadmap item.
+``benchmarks/results/BENCH_netserve_load.json`` (machine-readable, via
+the shared :mod:`repro.bench` emitter; gating tolerances live in
+:mod:`repro.bench.registry`).
 """
 
 from __future__ import annotations
 
-import json
-import subprocess
 import threading
 import time
-from datetime import date
 
 from conftest import save_and_print
 
+from repro.bench import BENCH_NETSERVE_LOAD
 from repro.loadgen import LoadgenConfig, render_curve, run_load, sweep
 from repro.netserve import (
     AdmissionConfig,
@@ -89,16 +87,6 @@ def _server(provider, **admission_overrides):
     return service, server
 
 
-def _git_sha() -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=10,
-            check=True).stdout.strip()
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
-
-
 def _run_sweep():
     service, server = _server(OverheadProvider(), max_inflight=32,
                               max_queue_depth=512)
@@ -133,7 +121,7 @@ def _run_wedged():
     return report
 
 
-def test_netserve_load(results_dir, benchmark):
+def test_netserve_load(results_dir, record_bench, benchmark):
     def measure():
         return _run_sweep(), _run_wedged()
 
@@ -150,34 +138,24 @@ def test_netserve_load(results_dir, benchmark):
     save_and_print(results_dir, "netserve_load.txt", "\n".join(lines))
 
     answered = wedged.total - wedged.counts["protocol_error"]
-    payload = {
-        "name": "netserve_load",
-        "metrics": (
-            [{"metric": f"sweep_rate_{int(r.offered_rps)}_p95_ms",
-              "value": round(r.ok_latency["p95"] * 1e3, 3)}
-             for r in reports]
-            + [{"metric": f"sweep_rate_{int(r.offered_rps)}_achieved_rps",
-                "value": round(r.achieved_rps, 2)} for r in reports]
-            + [{"metric": "wedged_reject_p95_ms",
-                "value": round(wedged.reject_latency["p95"] * 1e3, 3)},
-               {"metric": "wedged_rejected", "value":
-                wedged.counts["rejected"]},
-               {"metric": "wedged_answered", "value": answered},
-               {"metric": "wedged_protocol_errors",
-                "value": wedged.counts["protocol_error"]}]),
-        "config": {
-            "sweep_rates": SWEEP_RATES,
-            "sweep_duration_s": SWEEP_DURATION_S,
-            "call_overhead_s": CALL_OVERHEAD_S,
-            "wedged_burst_s": WEDGED_BURST_S,
-            "wedged_concurrency": 16,
-            "wedged_max_inflight": 4,
-        },
-        "git_sha": _git_sha(),
-        "date": date.today().isoformat(),
-    }
-    (results_dir / "BENCH_netserve_load.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    metrics = {f"sweep_rate_{int(r.offered_rps)}_p95_ms":
+               r.ok_latency["p95"] * 1e3 for r in reports}
+    metrics.update({f"sweep_rate_{int(r.offered_rps)}_achieved_rps":
+                    r.achieved_rps for r in reports})
+    metrics.update({
+        "wedged_reject_p95_ms": wedged.reject_latency["p95"] * 1e3,
+        "wedged_rejected": wedged.counts["rejected"],
+        "wedged_answered": answered,
+        "wedged_protocol_errors": wedged.counts["protocol_error"],
+    })
+    record_bench(BENCH_NETSERVE_LOAD, metrics, config={
+        "sweep_rates": SWEEP_RATES,
+        "sweep_duration_s": SWEEP_DURATION_S,
+        "call_overhead_s": CALL_OVERHEAD_S,
+        "wedged_burst_s": WEDGED_BURST_S,
+        "wedged_concurrency": 16,
+        "wedged_max_inflight": 4,
+    })
 
     # The frontend kept answering: every request in the wedged burst got
     # a response, over-admission got structured retry_after rejections,

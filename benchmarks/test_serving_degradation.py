@@ -10,7 +10,9 @@ regimes and measures per-request latency plus thread growth:
   threads must stay bounded instead of accumulating one per request;
 * ``flaky``        — primary hangs periodically; retries recover it.
 
-Writes ``benchmarks/results/serving_degradation.txt``.
+Writes ``benchmarks/results/serving_degradation.txt`` (the rendered
+view) and ``benchmarks/results/BENCH_serving_degradation.json`` (the
+structured source of truth, via the shared :mod:`repro.bench` emitter).
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import time
 
 from conftest import save_and_print
 
+from repro.bench import BENCH_SERVING_DEGRADATION
 from repro.service import RandomProvider
 from repro.serving import FaultAnalysisService, ServiceConfig
 
@@ -104,7 +107,7 @@ def _drive(provider, fallback) -> dict:
     }
 
 
-def test_serving_degradation(results_dir, benchmark):
+def test_serving_degradation(results_dir, record_bench, benchmark):
     def measure():
         return {
             "healthy": _drive(RandomProvider(dim=16, seed=0), None),
@@ -125,6 +128,23 @@ def test_serving_degradation(results_dir, benchmark):
                      f"{r['max_ms']:>9.1f} {r['thread_growth']:>9d} "
                      f"{r['fallbacks']:>10d} {r['retries']:>8d}")
     save_and_print(results_dir, "serving_degradation.txt", "\n".join(lines))
+
+    record_bench(BENCH_SERVING_DEGRADATION, {
+        "healthy_p50_ms": rows["healthy"]["p50_ms"],
+        "healthy_p95_ms": rows["healthy"]["p95_ms"],
+        "healthy_max_ms": rows["healthy"]["max_ms"],
+        "wedged_p50_ms": rows["wedged"]["p50_ms"],
+        "wedged_p95_ms": rows["wedged"]["p95_ms"],
+        "wedged_max_ms": rows["wedged"]["max_ms"],
+        "flaky_p50_ms": rows["flaky"]["p50_ms"],
+        "flaky_p95_ms": rows["flaky"]["p95_ms"],
+        "flaky_max_ms": rows["flaky"]["max_ms"],
+        "wedged_thread_growth": rows["wedged"]["thread_growth"],
+        "wedged_fallbacks": rows["wedged"]["fallbacks"],
+        "flaky_retries": rows["flaky"]["retries"],
+        "flaky_fallbacks": rows["flaky"]["fallbacks"],
+    }, config={"num_requests": NUM_REQUESTS,
+               "budget_ms": rows["healthy"]["budget_ms"]})
 
     budget_ms = rows["healthy"]["budget_ms"] + SLACK_S * 1000
     # A wedged primary degrades every request to the fallback — within the

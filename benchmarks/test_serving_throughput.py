@@ -10,7 +10,9 @@ forward pass — the regime micro-batching exists for):
 * ``persistent warm``  — a fresh provider instance over the populated
   store (zero forward passes expected).
 
-Writes ``benchmarks/results/serving_throughput.txt``.
+Writes ``benchmarks/results/serving_throughput.txt`` (the rendered view)
+and ``benchmarks/results/BENCH_serving_throughput.json`` (the structured
+source of truth, via the shared :mod:`repro.bench` emitter).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import time
 import numpy as np
 from conftest import save_and_print
 
+from repro.bench import BENCH_SERVING_THROUGHPUT
 from repro.service import RandomProvider
 from repro.serving import EmbeddingStore, MicroBatcher, PersistentProvider
 
@@ -89,7 +92,8 @@ def _run_persistent(store_dir, fingerprint="bench") -> tuple[float, int]:
     return NUM_NAMES / (time.perf_counter() - start), provider.calls
 
 
-def test_serving_throughput(results_dir, benchmark, tmp_path):
+def test_serving_throughput(results_dir, record_bench, benchmark,
+                            tmp_path):
     def measure():
         unbatched, unbatched_calls = _run_unbatched()
         batched, batched_calls = _run_batched()
@@ -110,6 +114,21 @@ def test_serving_throughput(results_dir, benchmark, tmp_path):
     for label, (rate, calls) in rows.items():
         lines.append(f"{label:<18} {rate:>12.1f} {calls:>12d}")
     save_and_print(results_dir, "serving_throughput.txt", "\n".join(lines))
+
+    record_bench(BENCH_SERVING_THROUGHPUT, {
+        "unbatched_names_per_sec": rows["unbatched"][0],
+        "batched_names_per_sec": rows["micro-batched"][0],
+        "batched_speedup_x": rows["micro-batched"][0] /
+        rows["unbatched"][0],
+        "cold_names_per_sec": rows["persistent cold"][0],
+        "warm_names_per_sec": rows["persistent warm"][0],
+        "unbatched_fwd_passes": rows["unbatched"][1],
+        "batched_fwd_passes": rows["micro-batched"][1],
+        "cold_fwd_passes": rows["persistent cold"][1],
+        "warm_fwd_passes": rows["persistent warm"][1],
+    }, config={"num_names": NUM_NAMES,
+               "call_overhead_s": CALL_OVERHEAD_S,
+               "per_name_s": PER_NAME_S})
 
     # Batching amortises the per-call overhead across concurrent requests.
     assert rows["micro-batched"][1] < rows["unbatched"][1]

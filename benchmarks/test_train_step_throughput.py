@@ -2,9 +2,9 @@
 
 Six measurements, written to
 ``benchmarks/results/train_step_throughput.txt`` (human-readable) and
-``benchmarks/results/BENCH_train_step.json`` (machine-readable:
-metric/value pairs plus config, git sha, and date — the same shape as
-``BENCH_netserve_load.json``):
+``benchmarks/results/BENCH_train_step.json`` (machine-readable, emitted
+through the shared :mod:`repro.bench` schema with per-metric gating
+declared in :mod:`repro.bench.registry`):
 
 * ``mask_batch`` on a 64×128 batch over a 5k-token vocabulary, new
   vectorised implementation vs. an in-file reimplementation of the pre-fix
@@ -34,16 +34,14 @@ Gradient correctness of everything measured here is gated separately by
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import os
-import subprocess
 import time
-from datetime import date
 
 import numpy as np
 from conftest import save_and_print
 
+from repro.bench import BENCH_TRAIN_STEP
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
 from repro.tokenization.vocab import Vocab
@@ -52,37 +50,6 @@ from repro.training.masking import DynamicMasker
 VOCAB_SIZE = 5000
 BATCH, SEQ = 64, 128
 MIN_SPEEDUP = 5.0
-
-
-def _git_sha() -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=10,
-            check=True).stdout.strip()
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
-
-
-def _record_metrics(results_dir, metrics: dict[str, float],
-                    config: dict | None = None) -> None:
-    """Merge metric/value pairs into ``BENCH_train_step.json``.
-
-    Each test contributes its own metrics; merging by name keeps the file
-    complete even when only a subset of the module runs.
-    """
-    path = results_dir / "BENCH_train_step.json"
-    payload = {"name": "train_step", "metrics": [], "config": {}}
-    if path.exists():
-        payload = json.loads(path.read_text())
-    merged = {m["metric"]: m["value"] for m in payload["metrics"]}
-    merged.update({k: round(float(v), 3) for k, v in metrics.items()})
-    payload["metrics"] = [{"metric": k, "value": v}
-                          for k, v in merged.items()]
-    payload["config"].update(config or {})
-    payload["git_sha"] = _git_sha()
-    payload["date"] = date.today().isoformat()
-    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def _legacy_mask_batch(masker: DynamicMasker, ids: np.ndarray,
@@ -141,7 +108,7 @@ def _best_of(fn, repeats=3) -> float:
     return best
 
 
-def test_mask_batch_speedup(results_dir):
+def test_mask_batch_speedup(results_dir, record_bench):
     vocab, ids, attention_mask = _masking_inputs()
     masker = DynamicMasker(vocab, np.random.default_rng(1))
 
@@ -162,7 +129,7 @@ def test_mask_batch_speedup(results_dir):
     ]
     save_and_print(results_dir, "train_step_throughput.txt",
                    "\n".join(lines))
-    _record_metrics(results_dir, {
+    record_bench(BENCH_TRAIN_STEP, {
         "mask_batch_legacy_ms": legacy_s * 1e3,
         "mask_batch_fixed_ms": fixed_s * 1e3,
         "mask_batch_speedup_x": speedup,
@@ -187,7 +154,7 @@ def _fwd_bwd_best_of(fn, params, iters: int = 10, repeats: int = 3) -> float:
     return best
 
 
-def test_fused_embedding_speedup(results_dir):
+def test_fused_embedding_speedup(results_dir, record_bench):
     """Fused gather+scatter vs. the former five-node keep-mask composition."""
     from repro.nn.layers import Embedding
 
@@ -235,7 +202,7 @@ def test_fused_embedding_speedup(results_dir):
         f"  speedup:                   {speedup:9.1f}x",
     ]
     _append_result(results_dir, "\n".join(lines))
-    _record_metrics(results_dir, {
+    record_bench(BENCH_TRAIN_STEP, {
         "fused_embedding_legacy_ms": legacy_s * 1e3,
         "fused_embedding_fused_ms": fused_s * 1e3,
         "fused_embedding_speedup_x": speedup,
@@ -245,7 +212,7 @@ def test_fused_embedding_speedup(results_dir):
         f"({speedup:.2f}x)")
 
 
-def test_attention_weights_speedup(results_dir):
+def test_attention_weights_speedup(results_dir, record_bench):
     """Fused attention softmax vs. the former seven-node composition."""
     rng = np.random.default_rng(4)
     batch, heads, seq, head_dim = 8, 4, 64, 16
@@ -286,7 +253,7 @@ def test_attention_weights_speedup(results_dir):
         f"  speedup:                   {speedup:9.1f}x",
     ]
     _append_result(results_dir, "\n".join(lines))
-    _record_metrics(results_dir, {
+    record_bench(BENCH_TRAIN_STEP, {
         "attention_weights_legacy_ms": legacy_s * 1e3,
         "attention_weights_fused_ms": fused_s * 1e3,
         "attention_weights_speedup_x": speedup,
@@ -334,7 +301,7 @@ def _append_result(results_dir, text: str) -> None:
     print(text)
 
 
-def test_stage2_train_step_tokens_per_sec(results_dir):
+def test_stage2_train_step_tokens_per_sec(results_dir, record_bench):
     batch_size = 8
     retrainer = _build_retrainer(batch_size=batch_size)
     model, data = retrainer.model, retrainer.data
@@ -363,7 +330,7 @@ def test_stage2_train_step_tokens_per_sec(results_dir):
         f"(~{avg_tokens:.1f} tokens/row)",
     ]
     _append_result(results_dir, "\n".join(lines))
-    _record_metrics(results_dir, {
+    record_bench(BENCH_TRAIN_STEP, {
         "stage2_step_ms": elapsed / steps * 1e3,
         "stage2_tokens_per_sec": tokens_per_sec,
     }, config={"stage2": {"d_model": model.bert_config.d_model,
@@ -415,7 +382,7 @@ def test_per_step_invariants_stay_hoisted():
         f"times — the masker cache regressed")
 
 
-def test_data_parallel_step_speedup(results_dir, tmp_path):
+def test_data_parallel_step_speedup(results_dir, record_bench, tmp_path):
     """Serial vs 4-worker data-parallel train-step throughput.
 
     The ≥2x acceptance bar only binds on hosts with at least 4 CPUs — on
@@ -470,7 +437,7 @@ def test_data_parallel_step_speedup(results_dir, tmp_path):
             f"time-share cores, so the >=2x bar is not binding on this "
             f"host; the measurement is recorded for reference only.")
     _append_result(results_dir, "\n".join(lines))
-    _record_metrics(results_dir, {
+    record_bench(BENCH_TRAIN_STEP, {
         "data_parallel_serial_step_ms": serial_s / steps * 1e3,
         "data_parallel_parallel_step_ms": parallel_s / steps * 1e3,
         "data_parallel_speedup_x": speedup,

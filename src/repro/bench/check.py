@@ -1,0 +1,294 @@
+"""Baseline comparison: the CI regression gate.
+
+Compares the latest ``BENCH_<name>.json`` results against the committed
+baselines under ``benchmarks/baselines/`` using the per-metric directions
+and tolerances from the registry.  The contract:
+
+* an **improvement never fails**, whatever its size;
+* a regression **within tolerance passes** (recorded as ``ok``);
+* a regression **past tolerance always fails** (``regressed``);
+* a gating metric **absent from the current run fails** (``missing``) —
+  a benchmark cannot dodge its gate by not emitting the metric;
+* a metric whose ``binding_key`` resolves falsy in the run's config is
+  **skipped with a recorded note** (``non-binding``), e.g. the ≥2x
+  data-parallel bar on a 1-CPU host;
+* tracked metrics (no tolerance) and metrics new to the baseline are
+  reported but never fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.registry import (
+    HIGHER_IS_BETTER,
+    REGISTRY,
+    BenchSpec,
+    MetricSpec,
+    get_spec,
+)
+from repro.bench.schema import BenchRun, load_run, result_path
+
+#: Default location of the committed baselines, relative to the repo root.
+BASELINES_DIRNAME = "baselines"
+
+# Row statuses.  FAILING ones flip the exit code.
+OK = "ok"
+IMPROVED = "improved"
+REGRESSED = "regressed"
+MISSING = "missing"
+NON_BINDING = "non-binding"
+TRACKED = "tracked"
+NEW = "new"
+UNSPECCED = "unspecced"
+FAILING = (REGRESSED, MISSING)
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's verdict: values, relative delta, status, note."""
+
+    metric: str
+    status: str
+    baseline: float | None = None
+    current: float | None = None
+    delta_pct: float | None = None
+    tolerance_pct: float | None = None
+    direction: str = ""
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in FAILING
+
+
+@dataclass
+class BenchComparison:
+    """All metric verdicts for one benchmark."""
+
+    bench_id: str
+    rows: list[MetricComparison] = field(default_factory=list)
+    error: str = ""                 # load/schema problem, fails the check
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.error) or any(row.failed for row in self.rows)
+
+
+def _config_flag(config: dict, dotted: str) -> object:
+    """Resolve ``a.b.c`` inside a nested config dict (missing -> None)."""
+    cursor: object = config
+    for part in dotted.split("."):
+        if not isinstance(cursor, dict) or part not in cursor:
+            return None
+        cursor = cursor[part]
+    return cursor
+
+
+def compare_metric(spec: MetricSpec, baseline: float | None,
+                   current: float | None,
+                   config: dict) -> MetricComparison:
+    """Apply the direction-aware tolerance policy to one metric."""
+    common = dict(metric=spec.name, baseline=baseline, current=current,
+                  direction=spec.direction, unit=spec.unit,
+                  tolerance_pct=(spec.tolerance * 100.0
+                                 if spec.tolerance is not None else None))
+    if spec.binding_key is not None and \
+            not _config_flag(config, spec.binding_key):
+        return MetricComparison(
+            status=NON_BINDING,
+            note=f"config {spec.binding_key} is falsy on this run; "
+                 f"bar not binding, measurement recorded only", **common)
+    if current is None:
+        if spec.gating:
+            return MetricComparison(
+                status=MISSING,
+                note="gating metric absent from the current run", **common)
+        return MetricComparison(status=TRACKED,
+                                note="not emitted this run", **common)
+    if baseline is None:
+        return MetricComparison(
+            status=NEW, note="no baseline yet; promote to start gating",
+            **common)
+    delta = current - baseline
+    delta_pct = (delta / abs(baseline) * 100.0) if baseline != 0 else None
+    common["delta_pct"] = delta_pct
+    worse = delta < 0 if spec.direction == HIGHER_IS_BETTER else delta > 0
+    if not worse:
+        status = OK if delta == 0 else IMPROVED
+        return MetricComparison(status=status, **common)
+    if not spec.gating:
+        return MetricComparison(status=TRACKED, **common)
+    # The more permissive of the relative and absolute bounds wins, so a
+    # zero baseline (relative bound admits nothing) can still carry an
+    # absolute allowance.
+    allowed = 0.0
+    if spec.tolerance is not None:
+        allowed = max(allowed, spec.tolerance * abs(baseline))
+    if spec.abs_tolerance is not None:
+        allowed = max(allowed, spec.abs_tolerance)
+    if abs(delta) <= allowed:
+        return MetricComparison(status=OK, **common)
+    return MetricComparison(
+        status=REGRESSED,
+        note=f"worse than baseline by more than the allowed "
+             f"{allowed:g}{spec.unit or ''}", **common)
+
+
+def compare_runs(spec: BenchSpec, baseline: BenchRun | None,
+                 current: BenchRun | None) -> BenchComparison:
+    """Compare one benchmark's current run against its baseline."""
+    comparison = BenchComparison(bench_id=spec.bench_id)
+    base_metrics = baseline.metrics if baseline else {}
+    cur_metrics = current.metrics if current else {}
+    config = current.config if current else {}
+    for metric_spec in spec.metrics:
+        comparison.rows.append(compare_metric(
+            metric_spec, base_metrics.get(metric_spec.name),
+            cur_metrics.get(metric_spec.name), config))
+    specced = {m.name for m in spec.metrics}
+    for name in sorted(set(cur_metrics) - specced):
+        comparison.rows.append(MetricComparison(
+            metric=name, status=UNSPECCED, current=cur_metrics[name],
+            baseline=base_metrics.get(name),
+            note="emitted but not in the registry; add a MetricSpec"))
+    return comparison
+
+
+def check_benchmarks(results_dir: str | Path, baselines_dir: str | Path,
+                     bench_ids: list[str] | None = None
+                     ) -> list[BenchComparison]:
+    """Run the gate for every benchmark that has a current result file.
+
+    A result file without a committed baseline is an error (the gate
+    cannot be dodged by never promoting); a registered benchmark with
+    no current result is skipped — not every suite runs in every tier.
+    """
+    results_dir = Path(results_dir)
+    baselines_dir = Path(baselines_dir)
+    ids = bench_ids if bench_ids is not None else sorted(REGISTRY)
+    comparisons: list[BenchComparison] = []
+    for bench_id in ids:
+        spec = get_spec(bench_id)
+        current_path = result_path(results_dir, bench_id)
+        if not current_path.exists():
+            if bench_ids is not None:
+                comparison = BenchComparison(bench_id=bench_id)
+                comparison.error = f"no current result at {current_path}"
+                comparisons.append(comparison)
+            continue
+        comparison = BenchComparison(bench_id=bench_id)
+        try:
+            current = load_run(current_path)
+        except (ValueError, OSError) as error:
+            comparison.error = f"unreadable current result: {error}"
+            comparisons.append(comparison)
+            continue
+        baseline_path = result_path(baselines_dir, bench_id)
+        if not baseline_path.exists():
+            comparison.error = (
+                f"no committed baseline at {baseline_path} — run "
+                f"`python -m repro bench promote --names {spec.bench_id}`")
+            comparisons.append(comparison)
+            continue
+        try:
+            baseline = load_run(baseline_path)
+        except (ValueError, OSError) as error:
+            comparison.error = f"unreadable baseline: {error}"
+            comparisons.append(comparison)
+            continue
+        comparisons.append(compare_runs(spec, baseline, current))
+    return comparisons
+
+
+# ---------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+def _fmt_pct(value: float | None) -> str:
+    return "-" if value is None else f"{value:+.1f}%"
+
+
+def _row_cells(row: MetricComparison) -> tuple[str, ...]:
+    tol = ("-" if row.tolerance_pct is None
+           else f"{row.tolerance_pct:.0f}%")
+    arrow = "↑" if row.direction == HIGHER_IS_BETTER else \
+        ("↓" if row.direction else "·")
+    return (row.metric, arrow, _fmt(row.baseline), _fmt(row.current),
+            _fmt_pct(row.delta_pct), tol, row.status, row.note)
+
+
+_HEADER = ("metric", "dir", "baseline", "current", "delta", "tol",
+           "status", "note")
+
+
+def render_text(comparisons: list[BenchComparison]) -> str:
+    """Fixed-width per-metric tables for terminal output."""
+    blocks: list[str] = []
+    for comparison in comparisons:
+        lines = [f"== {comparison.bench_id} "
+                 f"{'FAIL' if comparison.failed else 'ok'} =="]
+        if comparison.error:
+            lines.append(f"  ERROR: {comparison.error}")
+            blocks.append("\n".join(lines))
+            continue
+        cells = [_HEADER] + [_row_cells(row) for row in comparison.rows]
+        widths = [max(len(row[col]) for row in cells)
+                  for col in range(len(_HEADER))]
+        for row in cells:
+            lines.append("  " + "  ".join(
+                cell.ljust(width) for cell, width in zip(row, widths))
+                .rstrip())
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def render_markdown(comparisons: list[BenchComparison]) -> str:
+    """GitHub-flavoured markdown (for ``$GITHUB_STEP_SUMMARY``)."""
+    lines: list[str] = ["# Benchmark regression gate", ""]
+    for comparison in comparisons:
+        verdict = "❌ FAIL" if comparison.failed else "✅ ok"
+        lines.append(f"## `{comparison.bench_id}` — {verdict}")
+        lines.append("")
+        if comparison.error:
+            lines.append(f"**Error:** {comparison.error}")
+            lines.append("")
+            continue
+        lines.append("| " + " | ".join(_HEADER) + " |")
+        lines.append("|" + "---|" * len(_HEADER))
+        for row in comparison.rows:
+            cells = _row_cells(row)
+            cells = (f"`{cells[0]}`",) + cells[1:]
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BASELINES_DIRNAME",
+    "BenchComparison",
+    "FAILING",
+    "IMPROVED",
+    "MISSING",
+    "MetricComparison",
+    "NEW",
+    "NON_BINDING",
+    "OK",
+    "REGRESSED",
+    "TRACKED",
+    "UNSPECCED",
+    "check_benchmarks",
+    "compare_metric",
+    "compare_runs",
+    "render_markdown",
+    "render_text",
+]

@@ -1,0 +1,104 @@
+"""Trend rendering: markdown tables + sparkline text charts.
+
+Reads the per-benchmark history files
+(``benchmarks/results/history/<name>.jsonl``) and renders, per benchmark,
+one row per metric: the latest value, the delta against the oldest shown
+run, and a sparkline of the trajectory — so a reviewer sees whether
+``stage2_step_ms`` has been creeping up across PRs without downloading
+anything.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.history import load_history
+from repro.bench.registry import REGISTRY, get_spec
+
+#: Eight-level block ramp; index 0 renders troughs, index 7 peaks.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Map a numeric series onto the block ramp (constant series -> mid)."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return SPARK_LEVELS[3] * len(values)
+    span = high - low
+    return "".join(
+        SPARK_LEVELS[min(len(SPARK_LEVELS) - 1,
+                         int((value - low) / span * len(SPARK_LEVELS)))]
+        for value in values)
+
+
+def _series(entries: list[dict], metric: str) -> list[float]:
+    values: list[float] = []
+    for entry in entries:
+        for item in entry.get("metrics", []):
+            if item.get("metric") == metric:
+                values.append(float(item["value"]))
+                break
+    return values
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+def render_benchmark(bench_id: str, entries: list[dict],
+                     last: int = 20) -> str:
+    """Markdown trend block for one benchmark's history entries."""
+    spec = get_spec(bench_id)
+    entries = entries[-last:]
+    lines = [f"## `{bench_id}` — {spec.title}", ""]
+    if not entries:
+        lines.append("_no history yet — run the benchmark suite_")
+        lines.append("")
+        return "\n".join(lines)
+    first, latest = entries[0], entries[-1]
+    lines.append(f"{len(entries)} run(s), `{first.get('git_sha', '?')}` "
+                 f"({first.get('date', '?')[:10]}) → "
+                 f"`{latest.get('git_sha', '?')}` "
+                 f"({latest.get('date', '?')[:10]})")
+    lines.append("")
+    lines.append("| metric | latest | vs oldest | trend |")
+    lines.append("|---|---|---|---|")
+    names = [m.name for m in spec.metrics]
+    emitted = {item.get("metric")
+               for entry in entries for item in entry.get("metrics", [])}
+    names += sorted(emitted - set(names) - {None})
+    for name in names:
+        series = _series(entries, name)
+        if not series:
+            continue
+        delta = "-"
+        if len(series) > 1 and series[0] != 0:
+            delta = f"{(series[-1] - series[0]) / abs(series[0]) * 100:+.1f}%"
+        metric_spec = spec.metric(name)
+        unit = f" {metric_spec.unit}" if metric_spec and metric_spec.unit \
+            else ""
+        lines.append(f"| `{name}` | {_fmt(series[-1])}{unit} | {delta} "
+                     f"| `{sparkline(series)}` |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_report(history_dir: str | Path,
+                  bench_ids: list[str] | None = None,
+                  last: int = 20) -> str:
+    """The full markdown trend report across (selected) benchmarks."""
+    ids = bench_ids if bench_ids is not None else sorted(REGISTRY)
+    blocks = ["# Benchmark trends", "",
+              f"History root: `{Path(history_dir).as_posix()}` "
+              f"(last {last} runs per benchmark)", ""]
+    for bench_id in ids:
+        entries = load_history(history_dir, bench_id)
+        blocks.append(render_benchmark(bench_id, entries, last=last))
+    return "\n".join(blocks)
+
+
+__all__ = ["SPARK_LEVELS", "render_benchmark", "render_report", "sparkline"]

@@ -27,6 +27,11 @@ Commands
 ``lint``       repo-aware static analysis (:mod:`repro.lint`): concurrency,
                RNG discipline, atomic-IO, and literal-drift rules with
                inline suppressions and a committed baseline.
+``bench``      benchmark platform (:mod:`repro.bench`): ``check`` gates
+               CI on out-of-tolerance regressions vs committed baselines,
+               ``report`` renders trend tables + sparklines from the
+               per-benchmark history, ``promote`` moves baselines
+               intentionally (journaled), ``list`` shows the registry.
 """
 
 from __future__ import annotations
@@ -496,6 +501,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.lint_args)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import bench_main
+
+    return bench_main(args.bench_args)
+
+
 def _add_serve_args(parser: argparse.ArgumentParser) -> None:
     """Service flags shared by ``serve`` (stdin) and ``serve-net`` (TCP)."""
     parser.add_argument("--checkpoint", default=None,
@@ -716,6 +727,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "--baseline tools/lint_baseline.json, "
                            "--format json, --list-rules")
     lint.set_defaults(func=_cmd_lint)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark platform: regression gate, trend reports, "
+             "baseline promotion (repro.bench)")
+    bench.add_argument("bench_args", nargs=argparse.REMAINDER,
+                       help="forwarded to the bench driver — "
+                            "check | report | promote | list, e.g. "
+                            "'check --names train_step'")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
@@ -728,6 +749,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint import lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["bench"]:
+        # Same passthrough discipline as lint: the bench driver owns its
+        # own subcommands and --help.
+        from repro.bench import bench_main
+
+        return bench_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

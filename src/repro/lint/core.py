@@ -145,6 +145,8 @@ class LintConfig:
     atomic_impl_prefixes: tuple[str, ...] = ("atomic_write",)
     #: The one module allowed to define metric-name literals.
     metric_names_module: str = "src/repro/serving/metric_names.py"
+    #: The one module allowed to define ``bench.*`` benchmark-id literals.
+    bench_registry_module: str = "src/repro/bench/registry.py"
     #: The one module allowed to define prompt-token literals.
     prompt_templates_module: str = "src/repro/prompts/templates.py"
     #: Prompt tokens whose literal occurrence elsewhere is drift (RL007).

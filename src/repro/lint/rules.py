@@ -401,7 +401,7 @@ def check_silent_broad_except(ctx: ModuleContext) -> list[Finding]:
 # RL007 — metric-name / prompt-token literal drift
 # ---------------------------------------------------------------------
 _METRIC_SHAPE_RE = re.compile(
-    r"(serving|train|netserve)\.[a-z0-9_]+(\.[a-z0-9_]+)*\.?")
+    r"(serving|train|netserve|bench)\.[a-z0-9_]+(\.[a-z0-9_]+)*\.?")
 
 #: The linter's own configuration necessarily spells the tokens it hunts.
 _SELF_PREFIX = "src/repro/lint/"
@@ -410,18 +410,21 @@ _SELF_PREFIX = "src/repro/lint/"
 @rule("RL007", "string drift from a single source of truth "
                "(metric names / prompt tokens)")
 def check_literal_drift(ctx: ModuleContext) -> list[Finding]:
-    """Serving metric names live in `repro.serving.metric_names`; the
-    paper's prompt special tokens (`[ALM]`, `[KPI]`, ..., `|`) live in
+    """Serving metric names live in `repro.serving.metric_names`;
+    `bench.*` benchmark ids live in `repro.bench.registry`; the paper's
+    prompt special tokens (`[ALM]`, `[KPI]`, ..., `|`) live in
     `repro.prompts.templates`.  A hard-coded copy anywhere else drifts
     silently when the canonical spelling changes — dashboards chart a
-    metric nobody emits any more, or the tokenizer stops recognising a
-    prompt marker.  Import the constant (or a helper) instead."""
+    metric nobody emits any more, the regression gate checks a benchmark
+    nobody runs, or the tokenizer stops recognising a prompt marker.
+    Import the constant (or a helper) instead."""
     if ctx.rel.startswith(_SELF_PREFIX):
         return []
     findings: list[Finding] = []
     tokens = ctx.config.prompt_tokens
     in_templates = ctx.rel == ctx.config.prompt_templates_module
     in_metric_names = ctx.rel == ctx.config.metric_names_module
+    in_bench_registry = ctx.rel == ctx.config.bench_registry_module
     separator_scoped = ctx.in_scope(ctx.config.separator_scope)
     for node in ast.walk(ctx.tree):
         if not isinstance(node, ast.Constant) or \
@@ -430,12 +433,20 @@ def check_literal_drift(ctx: ModuleContext) -> list[Finding]:
         if ctx.is_docstring(node):
             continue
         value = node.value
-        if not in_metric_names and _METRIC_SHAPE_RE.fullmatch(value):
-            findings.append(ctx.finding(
-                "RL007", node,
-                f"hard-coded metric name {value!r} — import it from "
-                f"repro.serving.metric_names"))
-            continue
+        if _METRIC_SHAPE_RE.fullmatch(value):
+            if value.startswith("bench."):
+                if not in_bench_registry:
+                    findings.append(ctx.finding(
+                        "RL007", node,
+                        f"hard-coded benchmark id {value!r} — import it "
+                        f"from repro.bench.registry"))
+                continue
+            if not in_metric_names:
+                findings.append(ctx.finding(
+                    "RL007", node,
+                    f"hard-coded metric name {value!r} — import it from "
+                    f"repro.serving.metric_names"))
+                continue
         if in_templates:
             continue
         hit = next((token for token in tokens if token in value), None)

@@ -425,6 +425,11 @@ def f(parts):
     return "|".join(parts)
 """
 
+RL007_BENCH_BAD = """
+def f(record):
+    record("bench.train_step", {"step_ms": 1.0})
+"""
+
 RL007_DOCSTRING_OK = '''
 def f():
     """Wraps entities in the [ENT] format, e.g. serving.requests."""
@@ -450,6 +455,25 @@ class TestRL007:
         assert lint(RL007_TOKEN_BAD,
                     rel="src/repro/prompts/templates.py",
                     select=["RL007"]) == []
+
+    def test_bench_id_flagged(self):
+        found = lint(RL007_BENCH_BAD, rel=OTHER_REL, select=["RL007"])
+        assert codes(found) == ["RL007"]
+        assert "repro.bench.registry" in found[0].message
+
+    def test_bench_registry_module_exempt(self):
+        assert lint(RL007_BENCH_BAD,
+                    rel="src/repro/bench/registry.py",
+                    select=["RL007"]) == []
+
+    def test_bench_id_not_misreported_as_metric(self):
+        # A bench id in the metric-names module is still a bench finding,
+        # not silently accepted by the serving-metric exemption.
+        found = lint(RL007_BENCH_BAD,
+                     rel="src/repro/serving/metric_names.py",
+                     select=["RL007"])
+        assert codes(found) == ["RL007"]
+        assert "benchmark id" in found[0].message
 
     def test_separator_flagged_in_prompt_scope(self):
         assert codes(lint(RL007_SEPARATOR_BAD,
