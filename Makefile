@@ -4,7 +4,8 @@ PYTHON ?= python
 
 .PHONY: install test test-fast test-slow lint lint-repro bench \
 	bench-quick bench-check bench-report bench-promote gradcheck \
-	reproduce report api serve-smoke serve-net-smoke train-smoke clean
+	reproduce report api serve-smoke serve-net-smoke index-smoke \
+	train-smoke clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,7 +35,7 @@ lint-repro:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# The four quick-mode suites the CI slow tier runs: each emits its
+# The quick-mode suites the CI slow tier runs: each emits its
 # BENCH_<name>.json through the shared repro.bench emitter, feeding the
 # regression gate below.
 bench-quick:
@@ -42,7 +43,8 @@ bench-quick:
 	  benchmarks/test_train_step_throughput.py \
 	  benchmarks/test_serving_throughput.py \
 	  benchmarks/test_serving_degradation.py \
-	  benchmarks/test_netserve_load.py -q -rs
+	  benchmarks/test_netserve_load.py \
+	  benchmarks/test_index_retrieval.py -q -rs
 
 # CI regression gate: compare BENCH_*.json against the committed
 # baselines; exits non-zero on any out-of-tolerance regression.
@@ -94,6 +96,19 @@ serve-smoke:
 # a wedged server fails the step instead of stalling CI.
 serve-net-smoke:
 	timeout 120 $(PYTHON) tools/run_netserve_smoke.py
+
+# Build a 10k-entity synthetic ANN index, query a few stored names, and
+# dump its manifest stats — the retrieval tier end to end through the
+# real CLI.  Bounded by timeout so a wedged build fails the step instead
+# of stalling CI.
+index-smoke:
+	rm -rf .index-smoke
+	timeout 120 $(PYTHON) -m repro index build --dir .index-smoke \
+	  --synthetic 10000 --dim 32
+	timeout 60 $(PYTHON) -m repro index query --dir .index-smoke \
+	  --name entity-0 --name entity-42 --k 5
+	timeout 60 $(PYTHON) -m repro index stats --dir .index-smoke
+	rm -rf .index-smoke
 
 # Exercise the fault-tolerant training runtime end to end: train two steps,
 # pause (simulated interruption), resume from the snapshot, finish the

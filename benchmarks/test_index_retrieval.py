@@ -1,0 +1,152 @@
+"""Vector-index retrieval: recall vs exact scan and probed-query QPS.
+
+Builds :class:`repro.index.VectorIndex` over seeded synthetic entity
+worlds (clustered unit vectors — the geometry real KTeleBERT entity
+embeddings have) and measures, per scale:
+
+* recall@1 / recall@10 of the probed query against the brute-force
+  cosine oracle (:func:`repro.index.exact_topk`);
+* sequential single-query QPS through the index, best-of-``REPS``
+  interleaved with the same measurement over an exact full scan (one
+  matvec + one top-k partition per query — what serving one request at a
+  time without an index costs).  Interleaving the two sides and keeping
+  each side's best rep cancels host noise from the recorded ratio.
+
+Scales: 10k and 100k always; the 1M world only when
+``REPRO_BENCH_FULL_SCALE`` is set (the build is minutes, not seconds) —
+the registry marks the 1M gates non-binding otherwise via the recorded
+``full_scale.enabled`` config flag.
+
+Writes ``benchmarks/results/index_retrieval.txt`` (rendered view) and
+``benchmarks/results/BENCH_index_retrieval.json`` (structured source of
+truth, via the shared :mod:`repro.bench` emitter).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+from conftest import save_and_print
+
+from repro.bench import BENCH_INDEX_RETRIEVAL
+from repro.index import VectorIndex, exact_topk, synthetic_queries, \
+    synthetic_world
+
+NUM_QUERIES = 200
+K = 10
+REPS = 5
+SCALES = {"10k": 10_000, "100k": 100_000}
+FULL_SCALE = {"1m": 1_000_000}
+DIM = 32
+
+
+def full_scale_enabled() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_FULL_SCALE"))
+
+
+def _exact_scan(vectors: np.ndarray, queries: np.ndarray, k: int) -> None:
+    """Sequential exact serving loop: full matvec + top-k per query."""
+    for query in queries:
+        row = vectors @ query
+        top = np.argpartition(-row, k - 1)[:k]
+        top[np.argsort(-row[top], kind="stable")]
+
+
+def _measure_scale(tmp_path, label: str, count: int) -> dict:
+    names, vectors = synthetic_world(count, DIM, seed=0)
+    queries = synthetic_queries(vectors, NUM_QUERIES, seed=1)
+    oracle = exact_topk(vectors, names, queries, K)
+
+    index = VectorIndex(tmp_path / f"index-{label}", fingerprint="bench")
+    start = time.perf_counter()
+    index.build(dict(zip(names, vectors)))
+    build_s = time.perf_counter() - start
+
+    # Warm both paths (mmap pages, BLAS thread pools) before timing.
+    index.query(queries[:20], k=K)
+    _exact_scan(vectors, queries[:20], K)
+
+    index_qps = exact_qps = 0.0
+    answers = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        answers = index.query(queries, k=K)
+        index_qps = max(index_qps,
+                        NUM_QUERIES / (time.perf_counter() - start))
+        start = time.perf_counter()
+        _exact_scan(vectors, queries, K)
+        exact_qps = max(exact_qps,
+                        NUM_QUERIES / (time.perf_counter() - start))
+
+    top1 = sum(1 for got, want in zip(answers, oracle)
+               if got and got[0][0] == want[0][0])
+    overlap = sum(
+        sum(1 for name, _ in want if name in {n for n, _ in got})
+        for got, want in zip(answers, oracle))
+    return {
+        "count": count,
+        "build_s": build_s,
+        "recall_at_1": top1 / NUM_QUERIES,
+        "recall_at_10": overlap / (NUM_QUERIES * K),
+        "index_qps": index_qps,
+        "exact_qps": exact_qps,
+        "speedup_x": index_qps / exact_qps,
+    }
+
+
+def test_index_retrieval(results_dir, record_bench, tmp_path):
+    scales = dict(SCALES)
+    if full_scale_enabled():
+        scales.update(FULL_SCALE)
+    rows = {label: _measure_scale(tmp_path, label, count)
+            for label, count in scales.items()}
+
+    lines = [f"Index retrieval — dim {DIM}, {NUM_QUERIES} queries, "
+             f"k={K}, best of {REPS} interleaved reps",
+             f"{'scale':<6} {'recall@1':>9} {'recall@10':>10} "
+             f"{'index q/s':>10} {'exact q/s':>10} {'speedup':>8} "
+             f"{'build s':>8}"]
+    for label, row in rows.items():
+        lines.append(
+            f"{label:<6} {row['recall_at_1']:>9.3f} "
+            f"{row['recall_at_10']:>10.3f} {row['index_qps']:>10,.0f} "
+            f"{row['exact_qps']:>10,.0f} {row['speedup_x']:>7.1f}x "
+            f"{row['build_s']:>8.1f}")
+    save_and_print(results_dir, "index_retrieval.txt", "\n".join(lines))
+
+    metrics = {
+        "recall_at_1_10k": rows["10k"]["recall_at_1"],
+        "recall_at_10_10k": rows["10k"]["recall_at_10"],
+        "recall_at_1_100k": rows["100k"]["recall_at_1"],
+        "recall_at_10_100k": rows["100k"]["recall_at_10"],
+        "index_qps_10k": rows["10k"]["index_qps"],
+        "index_qps_100k": rows["100k"]["index_qps"],
+        "exact_qps_10k": rows["10k"]["exact_qps"],
+        "exact_qps_100k": rows["100k"]["exact_qps"],
+        "speedup_10k_x": rows["10k"]["speedup_x"],
+        "speedup_100k_x": rows["100k"]["speedup_x"],
+        "build_100k_s": rows["100k"]["build_s"],
+    }
+    if "1m" in rows:
+        metrics.update({
+            "recall_at_10_1m": rows["1m"]["recall_at_10"],
+            "index_qps_1m": rows["1m"]["index_qps"],
+            "exact_qps_1m": rows["1m"]["exact_qps"],
+            "speedup_1m_x": rows["1m"]["speedup_x"],
+        })
+    record_bench(BENCH_INDEX_RETRIEVAL, metrics, config={
+        "dim": DIM,
+        "num_queries": NUM_QUERIES,
+        "k": K,
+        "reps": REPS,
+        "scales": {label: row["count"] for label, row in rows.items()},
+        "full_scale": {"enabled": full_scale_enabled()},
+    })
+
+    # Default nprobe must answer almost exactly at both standing scales,
+    # and the probed scan must beat serving exact scans outright at 100k.
+    for label in ("10k", "100k"):
+        assert rows[label]["recall_at_10"] >= 0.95, rows[label]
+    assert rows["100k"]["speedup_x"] > 3.0, rows["100k"]

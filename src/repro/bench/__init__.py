@@ -48,6 +48,7 @@ from repro.bench.cli import bench_main
 from repro.bench.history import append_run, history_path, load_history
 from repro.bench.promote import Promotion, load_journal, promote
 from repro.bench.registry import (
+    BENCH_INDEX_RETRIEVAL,
     BENCH_NETSERVE_LOAD,
     BENCH_SERVING_DEGRADATION,
     BENCH_SERVING_THROUGHPUT,
@@ -71,6 +72,7 @@ from repro.bench.schema import (
 )
 
 __all__ = [
+    "BENCH_INDEX_RETRIEVAL",
     "BENCH_NETSERVE_LOAD",
     "BENCH_SERVING_DEGRADATION",
     "BENCH_SERVING_THROUGHPUT",

@@ -37,6 +37,7 @@ BENCH_TRAIN_STEP = "bench.train_step"
 BENCH_NETSERVE_LOAD = "bench.netserve_load"
 BENCH_SERVING_THROUGHPUT = "bench.serving_throughput"
 BENCH_SERVING_DEGRADATION = "bench.serving_degradation"
+BENCH_INDEX_RETRIEVAL = "bench.index_retrieval"
 
 
 def short_name(bench_id: str) -> str:
@@ -231,6 +232,41 @@ REGISTRY: dict[str, BenchSpec] = {
                 _count("flaky_fallbacks", tolerance=1.0,
                        abs_tolerance=6.0),
             )),
+        BenchSpec(
+            BENCH_INDEX_RETRIEVAL,
+            title="Vector index: recall vs exact scan + probed-query QPS",
+            source="benchmarks/test_index_retrieval.py",
+            metrics=(
+                # Recall against the brute-force oracle is host-independent
+                # (seeded synthetic world, deterministic clustering): tight
+                # relative gates.
+                _count("recall_at_1_10k", HIGHER_IS_BETTER, tolerance=0.05),
+                _count("recall_at_10_10k", HIGHER_IS_BETTER,
+                       tolerance=0.05),
+                _count("recall_at_1_100k", HIGHER_IS_BETTER,
+                       tolerance=0.05),
+                _count("recall_at_10_100k", HIGHER_IS_BETTER,
+                       tolerance=0.05),
+                # Absolute QPS varies per host: tracked only.  The probed
+                # scan vs exact scan ratio is host-independent and gates.
+                _rate("index_qps_10k", unit="q/s"),
+                _rate("index_qps_100k", unit="q/s"),
+                _rate("exact_qps_10k", unit="q/s"),
+                _rate("exact_qps_100k", unit="q/s"),
+                _speedup("speedup_10k_x", tolerance=None),
+                _speedup("speedup_100k_x", tolerance=0.4),
+                MetricSpec("build_100k_s", LOWER_IS_BETTER, unit="s"),
+                # Million-entity scale runs only when the emitter was
+                # launched with full-scale mode on (slow build): the
+                # config flag makes these non-binding otherwise.
+                MetricSpec("recall_at_10_1m", HIGHER_IS_BETTER,
+                           tolerance=0.05,
+                           binding_key="full_scale.enabled"),
+                _rate("index_qps_1m", unit="q/s"),
+                _rate("exact_qps_1m", unit="q/s"),
+                _speedup("speedup_1m_x",
+                         binding_key="full_scale.enabled"),
+            )),
     )
 }
 
@@ -247,6 +283,7 @@ def get_spec(bench_id: str) -> BenchSpec:
 
 
 __all__ = [
+    "BENCH_INDEX_RETRIEVAL",
     "BENCH_NETSERVE_LOAD",
     "BENCH_SERVING_DEGRADATION",
     "BENCH_SERVING_THROUGHPUT",

@@ -32,6 +32,9 @@ Commands
                ``report`` renders trend tables + sparklines from the
                per-benchmark history, ``promote`` moves baselines
                intentionally (journaled), ``list`` shows the registry.
+``index``      sharded mmap ANN retrieval tier (:mod:`repro.index`):
+               ``build`` an index from an embedding store or a synthetic
+               world, ``query`` top-k neighbours, ``stats`` geometry.
 """
 
 from __future__ import annotations
@@ -235,10 +238,16 @@ def _build_service(args: argparse.Namespace, adapters: dict | None = None):
                            backoff_s=args.backoff,
                            flush_timeout_s=args.flush_timeout,
                            close_timeout_s=args.close_timeout)
+    index = None
+    if getattr(args, "index", None):
+        from repro.index import VectorIndex
+
+        index = VectorIndex(args.index, fingerprint=fingerprint)
     return FaultAnalysisService(provider, fallback=fallback, config=config,
                                 metrics=MetricsRegistry(),
                                 store_dir=args.store,
                                 fingerprint=fingerprint,
+                                index=index,
                                 **(adapters or {}))
 
 
@@ -507,6 +516,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(args.bench_args)
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.index import index_main
+
+    return index_main(args.index_args)
+
+
 def _add_serve_args(parser: argparse.ArgumentParser) -> None:
     """Service flags shared by ``serve`` (stdin) and ``serve-net`` (TCP)."""
     parser.add_argument("--checkpoint", default=None,
@@ -516,6 +531,11 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
                         help="embedding dim of the stub encoder")
     parser.add_argument("--store", default=None,
                         help="directory for the persistent embedding store")
+    parser.add_argument("--index", default=None,
+                        help="directory for the ANN vector index; enables "
+                             "the knn/retrieve op (built or synced from "
+                             "the store/provider, keyed by the checkpoint "
+                             "fingerprint)")
     parser.add_argument("--max-batch-size", type=_positive_int, default=32)
     parser.add_argument("--max-wait-ms", type=_positive_float, default=5.0)
     parser.add_argument("--timeout", type=_positive_float, default=30.0,
@@ -737,6 +757,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "check | report | promote | list, e.g. "
                             "'check --names train_step'")
     bench.set_defaults(func=_cmd_bench)
+
+    index = sub.add_parser(
+        "index",
+        help="sharded mmap ANN retrieval tier: build | query | stats "
+             "(repro.index)")
+    index.add_argument("index_args", nargs=argparse.REMAINDER,
+                       help="forwarded to the index driver — "
+                            "build | query | stats, e.g. "
+                            "'build --dir idx --synthetic 10000'")
+    index.set_defaults(func=_cmd_index)
     return parser
 
 
@@ -755,6 +785,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench import bench_main
 
         return bench_main(argv[1:])
+    if argv[:1] == ["index"]:
+        from repro.index import index_main
+
+        return index_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -15,9 +15,11 @@ This module is dependency-free on purpose: low-level packages
 
 from __future__ import annotations
 
+import contextlib
 import os
 import tempfile
 from pathlib import Path
+from typing import BinaryIO, Iterator
 
 
 def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
@@ -59,4 +61,38 @@ def atomic_write_text(path: str | Path, text: str,
     return atomic_write_bytes(path, text.encode(encoding))
 
 
-__all__ = ["atomic_write_bytes", "atomic_write_text"]
+@contextlib.contextmanager
+def atomic_writer(path: str | Path) -> Iterator[BinaryIO]:
+    """Streaming variant of :func:`atomic_write_bytes`.
+
+    Yields a binary handle onto a temp file in the destination directory;
+    on clean exit the data is fsynced and renamed over ``path`` (then the
+    directory is fsynced), on any exception the temp file is unlinked and
+    the previous complete file survives untouched.  Use this when the
+    payload is too large to materialise in memory first — e.g. rewriting
+    a multi-gigabyte log record by record.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.tmp-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_writer"]

@@ -135,7 +135,7 @@ class LintConfig:
     #: RL002 (unbounded waits) applies under these prefixes.
     bounded_wait_scope: tuple[str, ...] = (
         "src/repro/serving/", "src/repro/training/", "src/repro/service/",
-        "src/repro/netserve/", "src/repro/loadgen/")
+        "src/repro/netserve/", "src/repro/loadgen/", "src/repro/index/")
     #: RL004 (atomic writes) applies under these prefixes.
     atomic_scope: tuple[str, ...] = (
         "src/repro/models/", "src/repro/serving/", "src/repro/training/",

@@ -401,7 +401,12 @@ def check_silent_broad_except(ctx: ModuleContext) -> list[Finding]:
 # RL007 — metric-name / prompt-token literal drift
 # ---------------------------------------------------------------------
 _METRIC_SHAPE_RE = re.compile(
-    r"(serving|train|netserve|bench)\.[a-z0-9_]+(\.[a-z0-9_]+)*\.?")
+    r"(serving|train|netserve|bench|index)\.[a-z0-9_]+(\.[a-z0-9_]+)*\.?")
+
+#: Strings shaped like a metric id but actually a file name (a prefix
+#: word followed by an extension, e.g. ``"index.json"``) are not drift.
+_FILE_NAME_RE = re.compile(r".*\.(csv|json|jsonl|log|md|npy|npz|py|txt|"
+                           r"ya?ml)$")
 
 #: The linter's own configuration necessarily spells the tokens it hunts.
 _SELF_PREFIX = "src/repro/lint/"
@@ -433,7 +438,8 @@ def check_literal_drift(ctx: ModuleContext) -> list[Finding]:
         if ctx.is_docstring(node):
             continue
         value = node.value
-        if _METRIC_SHAPE_RE.fullmatch(value):
+        if _METRIC_SHAPE_RE.fullmatch(value) and \
+                not _FILE_NAME_RE.fullmatch(value):
             if value.startswith("bench."):
                 if not in_bench_registry:
                     findings.append(ctx.finding(

@@ -156,6 +156,28 @@ def handle_request(service: "FaultAnalysisService", request: dict,
                 "verdicts": [{"triggers": v["triggers"],
                               "confidence": round(float(v["confidence"]), 6)}
                              for v in verdicts]}
+    if op in ("knn", "retrieve"):
+        # knn request envelope:
+        #   {"op": "knn", "names": [...], "k": 10, "nprobe": 4}
+        # response:
+        #   {"ok": true, "op": "knn",
+        #    "neighbours": [[{"name": ..., "score": ...}, ...], ...]}
+        # one neighbour list per query name, nearest first.
+        names = request.get("names")
+        if not isinstance(names, list) or not names or \
+                not all(isinstance(n, str) for n in names):
+            raise ValueError(f"{op} needs a non-empty 'names' string list")
+        k = int(request.get("k", 10))
+        if k < 1:
+            raise ValueError(f"{op} 'k' must be positive")
+        nprobe = request.get("nprobe")
+        if nprobe is not None:
+            nprobe = int(nprobe)
+            if nprobe < 1:
+                raise ValueError(f"{op} 'nprobe' must be positive")
+        neighbours = service.retrieve(names, k=k, nprobe=nprobe,
+                                      deadline=deadline)
+        return {"ok": True, "op": op, "neighbours": neighbours}
     if op == "stats":
         stats = service.stats()
         return {"ok": True, "op": "stats",

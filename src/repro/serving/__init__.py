@@ -49,7 +49,11 @@ from repro.serving.service import (
     ServiceConfig,
     ServingError,
 )
-from repro.serving.store import EmbeddingStore, PersistentProvider
+from repro.serving.store import (
+    EmbeddingStore,
+    PersistentProvider,
+    ProviderShapeError,
+)
 
 __all__ = [
     "CancellableWorkerPool",
@@ -66,6 +70,7 @@ __all__ = [
     "MetricsRegistry",
     "MicroBatcher",
     "PersistentProvider",
+    "ProviderShapeError",
     "ServiceConfig",
     "ServingError",
     "handle_request",

@@ -9,8 +9,9 @@ literals anywhere else in ``src/repro``; import the constant, or use the
 
 Naming convention: ``serving.*`` for the online stack (service facade,
 micro-batcher, worker pool, stdin loop), ``netserve.*`` for the TCP
-socket frontend (connections, tenancy, admission control), and
-``train.*`` for metrics replayed from the training runtime's journal.
+socket frontend (connections, tenancy, admission control), ``index.*``
+for the ANN retrieval tier (:mod:`repro.index`), and ``train.*`` for
+metrics replayed from the training runtime's journal.
 """
 
 from __future__ import annotations
@@ -74,6 +75,14 @@ NETSERVE_DRAINING_REJECTS = "netserve.draining_rejects"
 #: graceful drains initiated (SIGTERM / close)
 NETSERVE_DRAINS = "netserve.drains"
 
+# -- ANN retrieval tier (repro.index via the service facade) ----------
+#: retrieval queries answered (one per query vector)
+INDEX_QUERIES = "index.queries"
+#: index-query latency, embed excluded (histogram)
+INDEX_QUERY_LATENCY = "index.query_latency"
+#: rows folded into shards by flushes through the service
+INDEX_FLUSHED_ROWS = "index.flushed_rows"
+
 # -- training-journal replay (repro.serving.metrics.replay_journal) ---
 TRAIN_STEPS = "train.steps"
 TRAIN_TOKENS = "train.tokens"
@@ -123,6 +132,9 @@ __all__ = [
     "BATCHER_QUEUE_DEPTH",
     "BATCHER_RECOVERED_FLUSHES",
     "BATCHER_REQUESTS",
+    "INDEX_FLUSHED_ROWS",
+    "INDEX_QUERIES",
+    "INDEX_QUERY_LATENCY",
     "NETSERVE_ACTIVE_CONNECTIONS",
     "NETSERVE_ADMITTED",
     "NETSERVE_AUTH_FAILURES",

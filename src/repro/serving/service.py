@@ -143,6 +143,12 @@ class FaultAnalysisService:
     rca / eap / fct:
         Optional task adapters (``repro.tasks.*.serve``); fitted lazily on
         first use with embeddings drawn through this service.
+    index:
+        Optional :class:`~repro.index.VectorIndex` enabling
+        :meth:`retrieve`.  The provider stack is wrapped in an
+        :class:`~repro.index.IndexedEmbeddingProvider` so every encode
+        keeps the index in sync, and task adapters get a retriever for
+        candidate generation.  Must carry the service's fingerprint.
     """
 
     def __init__(self, provider: EmbeddingProvider, *,
@@ -151,7 +157,7 @@ class FaultAnalysisService:
                  metrics: MetricsRegistry | None = None,
                  store_dir=None, fingerprint: str = "unversioned",
                  mode: str | None = None,
-                 rca=None, eap=None, fct=None):
+                 rca=None, eap=None, fct=None, index=None):
         self.config = config or ServiceConfig()
         self.metrics = metrics or MetricsRegistry()
         self.fallback = fallback
@@ -172,6 +178,21 @@ class FaultAnalysisService:
         else:
             stack = CachedProvider(stack)
         self._cache = stack
+        self.index = index
+        self._retriever = None
+        if index is not None:
+            # Local import: repro.index imports repro.serving at module
+            # level, so the reverse edge must stay call-time only.
+            from repro.index.provider import IndexedEmbeddingProvider
+
+            self._retriever = IndexedEmbeddingProvider(
+                stack, index, store=self.store)
+            self._retriever.ensure_indexed()
+            stack = self._retriever
+            for adapter in (rca, eap, fct):
+                attach = getattr(adapter, "attach_retriever", None)
+                if callable(attach):
+                    attach(self._retriever)
         self.batcher = MicroBatcher(
             stack,
             max_batch_size=self.config.max_batch_size,
@@ -340,6 +361,36 @@ class FaultAnalysisService:
             deadline=deadline)
 
     # ------------------------------------------------------------------
+    # Retrieval (ANN index tier)
+    # ------------------------------------------------------------------
+    def retrieve(self, names: list[str], k: int = 10,
+                 nprobe: int | None = None,
+                 deadline: Deadline | None = None) -> list[list[dict]]:
+        """Top-``k`` nearest stored entities for each of ``names``.
+
+        Embeds ``names`` through the full serving stack (batching, store,
+        retries — deadline-aware), then answers from the ANN index; the
+        remaining budget is re-checked between the two stages so a slow
+        embed cannot push the query past its deadline.
+        """
+        if self.index is None:
+            raise ValueError("no vector index configured on this service")
+        vectors = self.embed(names, deadline=deadline)
+        if deadline is not None and deadline.remaining() <= 0:
+            self.metrics.counter(mn.SERVING_BUDGET_EXHAUSTED).inc()
+            raise DeadlineExceeded("retrieve: budget spent during embed")
+
+        def run(attempt_deadline: Deadline, token: CancellationToken):
+            token.raise_if_cancelled()
+            with self.metrics.time(mn.INDEX_QUERY_LATENCY):
+                hits = self.index.query(vectors, k=k, nprobe=nprobe)
+            self.metrics.counter(mn.INDEX_QUERIES).inc(len(hits))
+            return [[{"name": name, "score": round(score, 6)}
+                     for name, score in per_query] for per_query in hits]
+
+        return self._call_with_policy("retrieve", run, deadline=deadline)
+
+    # ------------------------------------------------------------------
     # Observability / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -356,6 +407,7 @@ class FaultAnalysisService:
             "batcher": self.batcher.stats(),
             "pool": self._pool.stats(),
             "store": self.store.stats() if self.store else None,
+            "index": self.index.stats() if self.index else None,
             "metrics": snapshot,
         }
 
@@ -371,6 +423,12 @@ class FaultAnalysisService:
         self._closed = True
         self.batcher.close(timeout=self.config.close_timeout_s)
         self._pool.shutdown()
+        if self._retriever is not None:
+            # Fold any buffered adds into the shards so vectors encoded
+            # during this process survive into the next one.
+            flushed = self._retriever.flush()
+            if flushed:
+                self.metrics.counter(mn.INDEX_FLUSHED_ROWS).inc(flushed)
 
     def __enter__(self) -> "FaultAnalysisService":
         return self

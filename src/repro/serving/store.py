@@ -26,9 +26,21 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.ioutil import atomic_writer
 from repro.service.providers import EmbeddingProvider
 
 _LOG_NAME = "embeddings.jsonl"
+
+
+class ProviderShapeError(ValueError):
+    """An inner provider returned a matrix misaligned with its names.
+
+    Raised by :meth:`PersistentProvider.encode_names` when the wrapped
+    encoder yields a different number of rows than names requested.
+    Persisting such a batch would zip names onto the wrong vectors and
+    poison the store for every later process sharing the fingerprint, so
+    the batch is rejected before anything is written.
+    """
 
 
 class EmbeddingStore:
@@ -97,8 +109,16 @@ class EmbeddingStore:
         """
         try:
             with open(self.path, "rb") as handle:
-                handle.seek(offset)
-                record = json.loads(handle.readline().decode("utf-8"))
+                return self._decode_at(handle, offset)
+        except OSError:
+            return None
+
+    @staticmethod
+    def _decode_at(handle, offset: int) -> np.ndarray | None:
+        """Decode one record from an already-open handle; ``None`` if torn."""
+        try:
+            handle.seek(offset)
+            record = json.loads(handle.readline().decode("utf-8"))
             return np.asarray(record["e"], dtype=np.float64)
         except (OSError, json.JSONDecodeError, KeyError, UnicodeDecodeError,
                 TypeError, ValueError):
@@ -141,12 +161,46 @@ class EmbeddingStore:
             return vector
 
     def get_many(self, names: list[str]) -> dict[str, np.ndarray]:
-        """Vectors for every known name (missing names are absent)."""
+        """Vectors for every known name (missing names are absent).
+
+        One lock acquisition and at most one ``open()`` for the whole
+        batch: LRU hits are collected first, then every missing-offset
+        record is read through a single file handle.  This is the index
+        build ingestion path, where per-name opens dominate wall time.
+        """
         found: dict[str, np.ndarray] = {}
-        for name in names:
-            vector = self.get(name)
-            if vector is not None:
-                found[name] = vector
+        with self._lock:
+            to_read: dict[str, int] = {}
+            for name in dict.fromkeys(names):
+                vector = self._lru_get(name)
+                if vector is not None:
+                    found[name] = vector
+                    self.hits += 1
+                elif name in self._offsets:
+                    to_read[name] = self._offsets[name]
+                else:
+                    self.misses += 1
+            if to_read:
+                try:
+                    handle = open(self.path, "rb")
+                except OSError:
+                    handle = None
+                try:
+                    for name, offset in to_read.items():
+                        vector = (self._decode_at(handle, offset)
+                                  if handle is not None else None)
+                        if vector is None:
+                            # Torn/unreadable record: same permanent-miss
+                            # policy as get().
+                            del self._offsets[name]
+                            self.misses += 1
+                        else:
+                            self._lru_put(name, vector)
+                            found[name] = vector
+                            self.hits += 1
+                finally:
+                    if handle is not None:
+                        handle.close()
         return found
 
     def _ensure_newline_terminated(self) -> None:
@@ -183,49 +237,87 @@ class EmbeddingStore:
             return name in self._lru or name in self._offsets
 
     def __len__(self) -> int:
+        """Distinct live names across both tiers.
+
+        A name can live in only one tier — LRU-only after a torn-record
+        eviction dropped its offset, disk-only after an LRU eviction — so
+        the count is the union, never the sum.
+        """
         with self._lock:
             return len(set(self._offsets) | set(self._lru))
+
+    def names(self) -> list[str]:
+        """Sorted distinct live names (the index-build ingestion set)."""
+        with self._lock:
+            return sorted(set(self._offsets) | set(self._lru))
 
     def compact(self) -> int:
         """Rewrite the log keeping only this namespace; returns kept count.
 
         Garbage-collects entries from superseded fingerprints (and other
-        providers/modes).  Safe to call while the store is live.
+        providers/modes).  Safe to call while the store is live.  Records
+        stream straight to the temp file — the rewritten log is never
+        materialised in memory, so compacting a million-entity store costs
+        one record of RAM, not gigabytes.  The temp+fsync+rename discipline
+        (:func:`repro.ioutil.atomic_writer`) still guarantees a crash
+        mid-compaction leaves the previous complete log, never a partial
+        one.  Names alive only in the LRU (their disk record was torn and
+        evicted) are re-persisted from memory rather than dropped.
         """
-        from repro.models.checkpoint import atomic_write_bytes
-
         with self._lock:
-            live: dict[str, np.ndarray] = {}
-            for name, offset in self._offsets.items():
-                vector = self._read_at(offset)
-                if vector is not None:  # torn records fall out of the log
-                    live[name] = vector
-            chunks: list[bytes] = []
+            disk_only = {name: offset
+                         for name, offset in self._offsets.items()
+                         if name not in self._lru}
             offsets: dict[str, int] = {}
-            position = 0
-            for name, vector in live.items():
-                record = {"v": self.fingerprint, "p": self.label,
-                          "m": self.mode, "n": name,
-                          "e": [float(x) for x in vector]}
-                line = json.dumps(record, ensure_ascii=False).encode() + b"\n"
-                offsets[name] = position
-                position += len(line)
-                chunks.append(line)
-            # Same temp+fsync+rename discipline as SnapshotStore: a crash
-            # mid-compaction leaves the previous complete log, never a
-            # partial one.
-            atomic_write_bytes(self.path, b"".join(chunks))
+            read_handle = None
+            if disk_only:
+                try:
+                    read_handle = open(self.path, "rb")
+                except OSError:
+                    read_handle = None
+            try:
+                with atomic_writer(self.path) as out:
+                    position = 0
+
+                    def emit(name: str, vector: np.ndarray) -> None:
+                        nonlocal position
+                        record = {"v": self.fingerprint, "p": self.label,
+                                  "m": self.mode, "n": name,
+                                  "e": [float(x) for x in vector]}
+                        line = json.dumps(
+                            record, ensure_ascii=False).encode() + b"\n"
+                        out.write(line)
+                        offsets[name] = position
+                        position += len(line)
+
+                    for name, offset in disk_only.items():
+                        vector = (self._decode_at(read_handle, offset)
+                                  if read_handle is not None else None)
+                        if vector is not None:  # torn records fall out
+                            emit(name, vector)
+                    for name, vector in self._lru.items():
+                        emit(name, vector)
+            finally:
+                if read_handle is not None:
+                    read_handle.close()
             self._offsets = offsets
             return len(offsets)
 
     def stats(self) -> dict:
-        """Hit/miss counters and tier sizes (feeds the metrics registry)."""
+        """Hit/miss counters and tier sizes (feeds the metrics registry).
+
+        ``entries`` is the *distinct* live-name count (tier union);
+        ``memory_entries``/``disk_entries`` are per-tier sizes whose sum
+        double-counts names resident in both tiers — consumers wanting
+        "how many names does this store hold" must use ``entries``.
+        """
         with self._lock:
             total = self.hits + self.misses
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "hit_rate": self.hits / total if total else 0.0,
+                "entries": len(set(self._offsets) | set(self._lru)),
                 "memory_entries": len(self._lru),
                 "disk_entries": len(self._offsets),
             }
@@ -259,7 +351,13 @@ class PersistentProvider(EmbeddingProvider):
             found = self.store.get_many(names)
         missing = [n for n in dict.fromkeys(names) if n not in found]
         if missing:
-            vectors = self.inner.encode_names(missing)
+            vectors = np.asarray(self.inner.encode_names(missing))
+            if vectors.ndim != 2 or vectors.shape[0] != len(missing):
+                # Zipping a misaligned matrix would persist wrong
+                # name->vector pairs for every later process; refuse it.
+                raise ProviderShapeError(
+                    f"provider {self.label!r} returned shape "
+                    f"{vectors.shape} for {len(missing)} names")
             fresh = {name: vector
                      for name, vector in zip(missing, vectors)}
             with self._lock:

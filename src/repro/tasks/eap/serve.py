@@ -13,11 +13,18 @@ import numpy as np
 from repro.nn.optim import Adam
 from repro.tasks.eap.data import EapDataset, EventPair
 from repro.tasks.eap.model import EapModel
+from repro.tasks.retrieval import RetrievalCandidateMixin
 from repro.tensor import no_grad
 
 
-class EapAdapter:
-    """Fit the trigger classifier on all labelled pairs, serve predictions."""
+class EapAdapter(RetrievalCandidateMixin):
+    """Fit the trigger classifier on all labelled pairs, serve predictions.
+
+    With a retriever attached (:meth:`attach_retriever`),
+    :meth:`candidate_events` proposes catalog events near a query surface
+    — the hook callers use to build candidate pairs when the pair list is
+    not handed to them.
+    """
 
     def __init__(self, dataset: EapDataset, seed: int = 0, epochs: int = 6,
                  batch_size: int = 32, learning_rate: float = 0.01,

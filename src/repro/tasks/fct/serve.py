@@ -14,9 +14,10 @@ import numpy as np
 from repro.kge.gtranse import GTransE, UncertainTriple
 from repro.kge.trainer import KgeTrainer
 from repro.tasks.fct.data import FctDataset
+from repro.tasks.retrieval import RetrievalCandidateMixin
 
 
-class FctAdapter:
+class FctAdapter(RetrievalCandidateMixin):
     """Fit GTransE on the alarm-propagation graph, serve next-hop rankings."""
 
     def __init__(self, dataset: FctDataset, seed: int = 0, epochs: int = 30,
@@ -73,24 +74,42 @@ class FctAdapter:
         self._model = model
         return self
 
-    def trace(self, alarm_name: str, top_k: int = 5) -> list[dict]:
+    def trace(self, alarm_name: str, top_k: int = 5,
+              candidates: list[str] | None = None) -> list[dict]:
         """Most plausible next-hop alarms for ``alarm_name``.
 
-        Scores every (relation, tail) completion and keeps each tail's best
+        Scores (relation, tail) completions and keeps each tail's best
         relation; returns up to ``top_k`` entries of the form ``{"alarm",
         "relation", "score"}`` with higher score = more plausible (the
         negated TransE distance).
+
+        ``candidates`` restricts the tails considered.  When omitted and
+        a retriever is attached (:meth:`attach_retriever`), candidates
+        come from the ANN index (the alarm's embedding-space neighbours
+        within the catalog); otherwise every catalog alarm is scored.
         """
         if self._model is None:
             raise RuntimeError("FctAdapter.fit has not been called")
         head = self._entity_index.get(alarm_name)
         if head is None:
             raise KeyError(f"unknown alarm: {alarm_name!r}")
+        if candidates is None and self.retriever is not None:
+            candidates = self.candidate_events(alarm_name,
+                                               k=max(4 * top_k, 16))
+        allowed: set[int] | None = None
+        if candidates:
+            allowed = {self._entity_index[name] for name in candidates
+                       if name in self._entity_index}
+            allowed.discard(head)
+            if not allowed:  # nothing retrievable — full scan, not empty
+                allowed = None
         best: dict[int, tuple[float, int]] = {}
         for relation in range(self.dataset.num_relations):
             distances = self._model.score_all_tails(head, relation)
             for tail, distance in enumerate(distances):
                 if tail == head:
+                    continue
+                if allowed is not None and tail not in allowed:
                     continue
                 score = -float(distance)
                 if tail not in best or score > best[tail][0]:

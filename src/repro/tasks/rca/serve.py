@@ -15,6 +15,7 @@ import numpy as np
 from repro.nn.optim import Adam
 from repro.tasks.rca.data import RcaDataset, RcaState
 from repro.tasks.rca.model import RcaModel
+from repro.tasks.retrieval import RetrievalCandidateMixin
 from repro.tensor import no_grad
 
 
@@ -32,8 +33,14 @@ def state_for_inference(node_names: list[str], adjacency: np.ndarray,
                     root_index=0)
 
 
-class RcaAdapter:
-    """Fit a GCN root-cause scorer on all labelled states, serve rankings."""
+class RcaAdapter(RetrievalCandidateMixin):
+    """Fit a GCN root-cause scorer on all labelled states, serve rankings.
+
+    With a retriever attached (:meth:`attach_retriever`),
+    :meth:`candidate_events` proposes catalog events near an arbitrary
+    query surface — the hook callers use to assemble an inference state
+    when the alarm set is not handed to them.
+    """
 
     def __init__(self, dataset: RcaDataset, seed: int = 0, epochs: int = 8,
                  learning_rate: float = 5e-3):

@@ -1,0 +1,55 @@
+"""Retrieval-backed candidate generation for the serve adapters.
+
+Before the ANN tier (:mod:`repro.index`), the RCA/EAP/FCT serve adapters
+had to be *handed* their candidate entities — the request carried every
+node/pair/alarm to score.  With a retriever attached
+(:class:`~repro.index.IndexedEmbeddingProvider`, wired by
+:class:`~repro.serving.FaultAnalysisService` when it is built with an
+index), an adapter can instead *generate* candidates: embed the query
+surface, pull its nearest stored entities, and keep the ones inside the
+adapter's own catalog.
+
+The hook is strictly opt-in — an adapter without a retriever behaves
+exactly as before (``candidate_events`` returns ``[]``, full-catalog
+scans stay full), so checkpoint-free deployments and the experiment
+harness are untouched.
+"""
+
+from __future__ import annotations
+
+
+class RetrievalCandidateMixin:
+    """Mixin giving a serve adapter ANN-backed candidate generation.
+
+    Host classes must expose ``event_names`` (their closed catalog).
+    """
+
+    _retriever = None
+
+    def attach_retriever(self, retriever) -> None:
+        """Wire an object with ``retrieve_names(names, k, nprobe)``."""
+        self._retriever = retriever
+
+    @property
+    def retriever(self):
+        """The attached retriever, or ``None``."""
+        return self._retriever
+
+    def candidate_events(self, name: str, k: int = 10,
+                         nprobe: int | None = None) -> list[str]:
+        """Catalog entities nearest ``name`` in embedding space.
+
+        Returns up to ``k`` retrieved names filtered to this adapter's
+        ``event_names`` (the index may hold far more entities than one
+        adapter serves), nearest first, the query itself excluded.
+        Without a retriever the answer is ``[]`` — callers fall back to
+        their full-catalog behaviour.
+        """
+        if self._retriever is None:
+            return []
+        known = set(self.event_names)
+        [hits] = self._retriever.retrieve_names([name], k=k, nprobe=nprobe)
+        return [hit for hit, _ in hits if hit in known and hit != name]
+
+
+__all__ = ["RetrievalCandidateMixin"]

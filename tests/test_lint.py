@@ -484,6 +484,22 @@ class TestRL007:
         assert lint(RL007_SEPARATOR_BAD, rel=OTHER_REL,
                     select=["RL007"]) == []
 
+    def test_index_metric_literal_flagged(self):
+        source = """
+def f(metrics):
+    metrics.counter("index.queries").inc()
+"""
+        assert codes(lint(source, rel=OTHER_REL,
+                          select=["RL007"])) == ["RL007"]
+
+    def test_filename_shaped_strings_exempt(self):
+        # "index.json" / "train.log" are file names, not metric ids.
+        source = """
+def f(directory):
+    return [directory / "index.json", directory / "train.log"]
+"""
+        assert lint(source, rel=OTHER_REL, select=["RL007"]) == []
+
     def test_docstring_mentions_exempt(self):
         assert lint(RL007_DOCSTRING_OK, rel=MODELS_REL,
                     select=["RL007"]) == []

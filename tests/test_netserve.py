@@ -112,10 +112,11 @@ def server_factory():
     stacks = []
 
     def build(provider=None, tenants=None, admission=None, config=None,
-              service_config=None):
+              service_config=None, index=None):
         service = FaultAnalysisService(
             provider or RandomProvider(dim=8, seed=0),
-            config=service_config or _tight_config())
+            config=service_config or _tight_config(),
+            index=index)
         server = TeleServer(
             service,
             tenants or TenantRegistry.single("k-test"),
@@ -520,6 +521,114 @@ class TestTeleServer:
         assert stats["requests"] >= 1
         assert stats["inflight"] == 0
         assert stats["tenants"][0]["admitted"] == 1
+
+
+# ----------------------------------------------------------------------
+# knn/retrieve over the socket: quotas, deadlines, structured errors
+# ----------------------------------------------------------------------
+def _indexed_stack(tmp_path, server_factory, **kwargs):
+    """Server whose service answers knn from a pre-built index.
+
+    The SAME provider instance feeds both the index build and the
+    service: RandomProvider draws vectors sequentially from its seeded
+    rng, so a second instance would assign different vectors to the
+    same names.
+    """
+    from repro.index import VectorIndex
+
+    provider = RandomProvider(dim=8, seed=0)
+    catalog = [f"alarm-{i}" for i in range(32)]
+    vectors = provider.encode_names(catalog)
+    index = VectorIndex(tmp_path / "knn-index", fingerprint="unversioned")
+    index.build({name: vectors[i] for i, name in enumerate(catalog)})
+    return server_factory(provider=provider, index=index, **kwargs)
+
+
+class TestKnnOp:
+    def test_knn_roundtrip_and_retrieve_alias(self, tmp_path,
+                                              server_factory):
+        service, _, address = _indexed_stack(tmp_path, server_factory)
+        client = _Client(address)
+        try:
+            response = client.request(
+                {"op": "knn", "names": ["alarm-3"], "k": 3,
+                 "api_key": "k-test"})
+            assert response["ok"] and response["op"] == "knn"
+            [hits] = response["neighbours"]
+            assert len(hits) == 3
+            assert hits[0]["name"] == "alarm-3"    # self-hit first
+            assert hits[0]["score"] == pytest.approx(1.0, abs=1e-4)
+            alias = client.request(
+                {"op": "retrieve", "names": ["alarm-3"], "k": 3,
+                 "api_key": "k-test"})
+            assert alias["ok"] and alias["op"] == "retrieve"
+            assert alias["neighbours"] == response["neighbours"]
+        finally:
+            client.close()
+        assert service.stats()["index"]["counters"]["queries"] >= 2
+
+    @pytest.mark.parametrize("payload", [
+        {"op": "knn", "api_key": "k-test"},                  # no names
+        {"op": "knn", "names": [], "api_key": "k-test"},     # empty
+        {"op": "knn", "names": [7], "api_key": "k-test"},    # non-string
+        {"op": "knn", "names": ["a"], "k": 0, "api_key": "k-test"},
+        {"op": "knn", "names": ["a"], "nprobe": 0, "api_key": "k-test"},
+    ])
+    def test_bad_knn_requests_get_bad_request_code(self, tmp_path,
+                                                   server_factory,
+                                                   payload):
+        _, _, address = _indexed_stack(tmp_path, server_factory)
+        client = _Client(address)
+        try:
+            response = client.request(payload)
+            assert response["ok"] is False
+            assert response["code"] == "bad_request"
+        finally:
+            client.close()
+
+    def test_knn_without_index_is_a_clean_error(self, server_factory):
+        _, _, address = server_factory()    # no index configured
+        client = _Client(address)
+        try:
+            response = client.request(
+                {"op": "knn", "names": ["a"], "api_key": "k-test"})
+            assert response["ok"] is False
+            assert "no vector index" in response["error"]
+        finally:
+            client.close()
+
+    def test_knn_deadline_rejection_is_structured(self, tmp_path,
+                                                  server_factory):
+        _, _, address = _indexed_stack(tmp_path, server_factory)
+        client = _Client(address)
+        try:
+            response = client.request(
+                {"op": "knn", "names": ["alarm-1"], "deadline_ms": 1,
+                 "api_key": "k-test", "id": "dl-1"})
+            assert response["ok"] is False
+            assert response["code"] == "deadline"
+            assert response["id"] == "dl-1"
+        finally:
+            client.close()
+
+    def test_knn_tenant_rate_quota_sheds_with_retry_after(self, tmp_path,
+                                                          server_factory):
+        tenants = TenantRegistry([TenantSpec(
+            name="t", api_key="k", rate_per_s=1.0, burst=1)])
+        _, _, address = _indexed_stack(tmp_path, server_factory,
+                                       tenants=tenants)
+        client = _Client(address)
+        try:
+            first = client.request({"op": "knn", "names": ["alarm-0"],
+                                    "api_key": "k"})
+            assert first["ok"]
+            shed = client.request({"op": "knn", "names": ["alarm-0"],
+                                   "api_key": "k"})
+            assert shed["ok"] is False
+            assert shed["code"] == "rate_limit"
+            assert shed["retry_after_s"] > 0
+        finally:
+            client.close()
 
 
 # ----------------------------------------------------------------------

@@ -389,6 +389,95 @@ class TestPersistentProvider:
         assert retrained.calls == 1                # invalidation re-encodes
 
 
+class TestStoreRegressions:
+    """Regression pins for the three store bugfixes in this PR."""
+
+    def test_get_many_opens_the_log_once(self, tmp_path, monkeypatch):
+        store = EmbeddingStore(tmp_path, fingerprint="f1", lru_capacity=1)
+        names = [f"n{i}" for i in range(60)]
+        store.put_many({n: np.full(3, float(i))
+                        for i, n in enumerate(names)})
+        assert store.stats()["memory_entries"] == 1  # 59 are disk-only
+
+        opens = []
+        real_open = open
+
+        def counting_open(file, *args, **kwargs):
+            if str(file) == str(store.path):
+                opens.append(file)
+            return real_open(file, *args, **kwargs)
+
+        import builtins
+        monkeypatch.setattr(builtins, "open", counting_open)
+        found = store.get_many(names)
+        assert len(found) == 60
+        assert len(opens) == 1                     # one handle per batch
+        for i, name in enumerate(names):
+            assert np.allclose(found[name], float(i))
+
+    def test_wrong_shape_provider_is_refused_and_not_persisted(
+            self, tmp_path):
+        from repro.serving import ProviderShapeError
+
+        class ShortProvider(RandomProvider):
+            def encode_names(self, names):
+                return super().encode_names(names)[:-1]   # drops a row
+
+        store = EmbeddingStore(tmp_path, fingerprint="f1")
+        provider = PersistentProvider(ShortProvider(dim=4), store)
+        with pytest.raises(ProviderShapeError):
+            provider.encode_names(["a", "b", "c"])
+        # Nothing half-zipped reached the store.
+        assert len(store) == 0
+
+    def test_compact_repersists_lru_only_names(self, tmp_path):
+        store = EmbeddingStore(tmp_path, fingerprint="f1", lru_capacity=2)
+        store.put_many({"a": np.zeros(2)})
+        store.put_many({"b": np.ones(2)})
+        store.put_many({"c": np.full(2, 2.0)})     # LRU now holds b, c
+        # Tear c's trailing disk record; its only good copy is the LRU.
+        raw = (tmp_path / "embeddings.jsonl").read_bytes()
+        torn = raw[:raw.rstrip(b"\n").rfind(b"\n") + 1] + b'{"v": "f1'
+        (tmp_path / "embeddings.jsonl").write_bytes(torn)
+
+        assert store.compact() == 3
+        reloaded = EmbeddingStore(tmp_path, fingerprint="f1")
+        assert np.allclose(reloaded.get("a"), 0.0)  # streamed from disk
+        assert np.allclose(reloaded.get("c"), 2.0)  # re-persisted from LRU
+        lines = (tmp_path / "embeddings.jsonl").read_text().splitlines()
+        assert len(lines) == 3
+
+    def test_failed_compact_leaves_original_log(self, tmp_path,
+                                                monkeypatch):
+        store = EmbeddingStore(tmp_path, fingerprint="f1", lru_capacity=2)
+        store.put_many({f"n{i}": np.full(2, float(i)) for i in range(5)})
+        before = (tmp_path / "embeddings.jsonl").read_bytes()
+
+        def boom(handle, offset):
+            raise RuntimeError("disk died mid-compaction")
+
+        monkeypatch.setattr(EmbeddingStore, "_decode_at",
+                            staticmethod(boom))
+        with pytest.raises(RuntimeError):
+            store.compact()
+        monkeypatch.undo()
+        # temp+fsync+rename: the aborted rewrite never replaced the log.
+        assert (tmp_path / "embeddings.jsonl").read_bytes() == before
+        reloaded = EmbeddingStore(tmp_path, fingerprint="f1")
+        assert np.allclose(reloaded.get("n0"), 0.0)
+
+    def test_len_and_stats_count_tier_union(self, tmp_path):
+        store = EmbeddingStore(tmp_path, fingerprint="f1", lru_capacity=2)
+        store.put_many({f"n{i}": np.full(2, float(i)) for i in range(5)})
+        stats = store.stats()
+        # n3/n4 live in BOTH tiers; the union must not double-count them.
+        assert stats["memory_entries"] == 2
+        assert stats["disk_entries"] == 5
+        assert stats["entries"] == 5
+        assert len(store) == 5
+        assert store.names() == sorted(f"n{i}" for i in range(5))
+
+
 # ----------------------------------------------------------------------
 # Façade: timeout / retry / fallback / stats
 # ----------------------------------------------------------------------

@@ -525,16 +525,36 @@ class TestStoreDurability:
         store.put_many({f"n{i}": np.full(2, float(i)) for i in range(4)})
         before = (tmp_path / "embeddings.jsonl").read_bytes()
 
-        import repro.models.checkpoint as checkpoint
+        import contextlib
 
-        def crash(path, data):
-            raise OSError("simulated crash mid-compaction")
+        import repro.serving.store as store_mod
 
-        monkeypatch.setattr(checkpoint, "atomic_write_bytes", crash)
+        real_writer = store_mod.atomic_writer
+
+        class _DyingHandle:
+            """Write proxy that dies mid-stream (disk full, yanked mount)."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self._writes = 0
+
+            def write(self, data):
+                self._writes += 1
+                if self._writes > 1:
+                    raise OSError("simulated crash mid-compaction")
+                return self._inner.write(data)
+
+        @contextlib.contextmanager
+        def dying_writer(path):
+            with real_writer(path) as handle:
+                yield _DyingHandle(handle)
+
+        monkeypatch.setattr(store_mod, "atomic_writer", dying_writer)
         with pytest.raises(OSError):
             store.compact()
         monkeypatch.undo()
-        # The log is byte-identical and a fresh store still serves it.
+        # The log is byte-identical and a fresh store still serves it:
+        # the aborted temp stream never replaced it.
         assert (tmp_path / "embeddings.jsonl").read_bytes() == before
         reloaded = EmbeddingStore(tmp_path, fingerprint="f1")
         assert np.allclose(reloaded.get("n3"), 3.0)
