@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-slow lint lint-repro bench \
+.PHONY: install test test-fast test-slow lint lint-repro lint-graph bench \
 	bench-quick bench-check bench-report bench-promote gradcheck \
 	reproduce report api serve-smoke serve-net-smoke index-smoke \
 	train-smoke clean
@@ -26,11 +26,19 @@ lint:
 	ruff check src/ tests/ tools/ benchmarks/
 	ruff format --check src/ tests/ tools/ benchmarks/
 
-# Repo-aware static analysis (repro.lint): concurrency, RNG discipline,
-# atomic-IO, and metric/token-drift rules.  Stdlib-only; composes with
-# ruff rather than replacing it.
+# Repo-aware static analysis (repro.lint): per-module concurrency, RNG
+# discipline, atomic-IO, and metric/token-drift rules plus the
+# interprocedural lock-order/blocking/deadline/resource flow rules.
+# Stdlib-only; composes with ruff rather than replacing it.  Warm runs
+# replay the SHA-keyed summary cache (tools/.lint_cache.json); the
+# wall-time gate matches the CI fast tier.
 lint-repro:
-	$(PYTHON) tools/run_lint.py --baseline tools/lint_baseline.json
+	$(PYTHON) tools/run_lint.py --baseline tools/lint_baseline.json --max-seconds 10
+
+# Dump the resolved call graph + lock-acquisition graph (what
+# RL008/RL009 reason over) as JSON, for debugging a flow finding.
+lint-graph:
+	$(PYTHON) tools/run_lint.py --graph
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -16,10 +16,15 @@ Framework (stdlib ``ast``/``tokenize`` only, no new dependencies):
 * a committed baseline (``tools/lint_baseline.json``) keyed by
   line-drift-tolerant fingerprints, so new violations fail CI while any
   tracked legacy ones are burned down to zero;
-* text/JSON reporting with CI-friendly exit codes via
-  ``tools/run_lint.py`` and ``python -m repro lint``.
+* text/JSON/SARIF reporting with CI-friendly exit codes via
+  ``tools/run_lint.py`` and ``python -m repro lint``;
+* a whole-program layer (:mod:`repro.lint.project`): repo-wide symbol
+  table, call graph, and per-function lock/deadline/resource summaries,
+  cached per file SHA in ``tools/.lint_cache.json``, that the
+  project-scope rules (:mod:`repro.lint.flowrules`) reason over.
 
-Shipped rules (see :mod:`repro.lint.rules` for the full rationale):
+Shipped rules (see :mod:`repro.lint.rules` and
+:mod:`repro.lint.flowrules` for the full rationale):
 
 ========  ============================================================
 RL001     blocking call inside a ``with <lock>:`` block
@@ -32,6 +37,14 @@ RL005     global-RNG calls (``random.*`` / ``np.random.*``) instead of a
 RL006     bare/over-broad ``except`` that swallows silently
 RL007     metric-name / prompt-token string drift from the single source
           of truth
+RL008     lock-order inversion — a cycle in the global
+          lock-acquisition graph, including edges through callees
+RL009     call chain from a critical section to an unbounded blocking
+          sink (the interprocedural RL001)
+RL010     ``deadline``/``timeout`` parameter accepted but not threaded
+          to the wait it was meant to bound
+RL011     resource handle (socket, mmap, ``SharedArray``, file, ...)
+          not closed/unlinked on every exit path
 ========  ============================================================
 """
 
@@ -44,19 +57,26 @@ from repro.lint.core import (
     Rule,
     analyze_paths,
     analyze_source,
+    analyze_sources,
     iter_python_files,
     rule,
 )
-from repro.lint import rules as _rules  # registers the built-in rules
+from repro.lint.project import ProjectContext, SummaryCache, build_project
+from repro.lint import rules as _rules  # registers the module rules
+from repro.lint import flowrules as _flowrules  # registers RL008-RL011
 
 __all__ = [
     "Baseline",
     "Finding",
     "LintConfig",
+    "ProjectContext",
     "RULES",
     "Rule",
+    "SummaryCache",
     "analyze_paths",
     "analyze_source",
+    "analyze_sources",
+    "build_project",
     "iter_python_files",
     "lint_main",
     "load_baseline",

@@ -3,8 +3,21 @@
 Exit codes (CI contract):
 
 * ``0`` — clean, or every error-severity finding is in the baseline;
-* ``1`` — at least one *new* error-severity finding;
+* ``1`` — at least one *new* error-severity finding, or the
+  ``--max-seconds`` wall-time budget was exceeded;
 * ``2`` — usage error (unknown rule code, unreadable baseline, ...).
+
+Besides the plain lint run the driver exposes:
+
+* ``--format json|sarif`` — machine-readable reports; SARIF 2.1.0 is
+  what GitHub code scanning ingests for inline PR annotations;
+* ``--graph`` — dump the resolved call graph and lock-acquisition
+  graph as JSON (the inputs RL008/RL009 reason over) and exit;
+* ``baseline prune`` — drop baseline entries whose debt was paid down,
+  reporting each one, so the file ratchets toward empty;
+* ``--cache`` / ``--no-cache`` — per-file summary cache
+  (``tools/.lint_cache.json``), keyed by file SHA and invalidated
+  wholesale when the rule set or config changes.
 
 Used both by ``tools/run_lint.py`` (no-install entry point) and
 ``python -m repro lint``.
@@ -13,16 +26,33 @@ Used both by ``tools/run_lint.py`` (no-install entry point) and
 from __future__ import annotations
 
 import argparse
+import ast
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
 from repro.lint.baseline import Baseline, load_baseline, save_baseline
-from repro.lint.core import RULES, Finding, analyze_paths
+from repro.lint.core import (
+    RULES,
+    Finding,
+    LintConfig,
+    ModuleContext,
+    analyze_paths,
+    iter_python_files,
+)
 
-#: Default lint targets relative to the repo root.
-DEFAULT_PATHS = ("src/repro",)
+#: Default lint targets relative to the repo root.  Tests, benchmarks,
+#: and tools run a test-appropriate rule subset via
+#: :attr:`~repro.lint.core.LintConfig.path_rule_exemptions`.
+DEFAULT_PATHS = ("src/repro", "tools", "benchmarks", "tests")
+
+#: Default on-disk summary cache, relative to the repo root.
+DEFAULT_CACHE = "tools/.lint_cache.json"
+
+#: SARIF severity levels for our two finding severities.
+_SARIF_LEVEL = {"error": "error", "warning": "warning"}
 
 
 def find_repo_root(start: Path | None = None) -> Path:
@@ -44,7 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description="Repo-aware static analysis for the repro codebase "
                     "(concurrency, RNG discipline, atomic IO, literal "
-                    "drift).")
+                    "drift, and interprocedural lock/deadline/resource "
+                    "flow).")
     parser.add_argument(
         "paths", nargs="*", default=None,
         help=f"files or directories to lint (default: {DEFAULT_PATHS})")
@@ -61,14 +92,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite --baseline to exactly the current findings "
              "(prunes stale entries) and exit 0")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)")
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif is the GitHub "
+             "code-scanning upload format")
     parser.add_argument(
         "--select", action="append", default=None, metavar="RL00x",
         help="run only these rule codes (repeatable)")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the registered rules with rationale and exit")
+    parser.add_argument(
+        "--graph", action="store_true",
+        help="dump the resolved call graph and lock-acquisition graph "
+             "as JSON and exit (no findings are reported)")
+    parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help=f"summary cache file (default: <root>/{DEFAULT_CACHE}); "
+             f"files whose SHA is cached skip the parse and module-rule "
+             f"pass")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the summary cache for this run")
+    parser.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="fail (exit 1) if the analysis itself takes longer than "
+             "this — the CI wall-time regression gate")
     return parser
 
 
@@ -76,7 +124,7 @@ def _list_rules() -> str:
     blocks = []
     for code in sorted(RULES):
         meta = RULES[code]
-        block = f"{code} [{meta.severity}] {meta.title}"
+        block = f"{code} [{meta.severity}/{meta.scope}] {meta.title}"
         if meta.rationale:
             indented = "\n".join("    " + line for line in
                                  meta.rationale.splitlines())
@@ -95,7 +143,7 @@ def _render_text(new: list[Finding], baselined: list[Finding],
     if stale_count:
         lines.append(f"note: {stale_count} stale baseline entr"
                      f"{'y' if stale_count == 1 else 'ies'} — the debt "
-                     f"was fixed; run --update-baseline to prune")
+                     f"was fixed; run `baseline prune` to drop them")
     errors = sum(1 for f in new if f.severity == "error")
     warnings = sum(1 for f in new if f.severity == "warning")
     lines.append(
@@ -121,6 +169,171 @@ def _render_json(new: list[Finding], baselined: list[Finding],
     }, indent=2)
 
 
+def _sarif_result(finding: Finding, baselined: bool) -> dict:
+    result = {
+        "ruleId": finding.rule,
+        "level": _SARIF_LEVEL.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": max(1, finding.line),
+                    # SARIF columns are 1-based; ours are 0-based.
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+        "partialFingerprints": {
+            "reproLint/v1": finding.fingerprint,
+        },
+    }
+    if baselined:
+        # GitHub treats non-"new" states as already-triaged: the
+        # annotation stays visible but does not gate the PR.
+        result["baselineState"] = "unchanged"
+        result["level"] = "note"
+    return result
+
+
+def _render_sarif(new: list[Finding], baselined: list[Finding]) -> str:
+    rules = []
+    for code in sorted(RULES):
+        meta = RULES[code]
+        rule = {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": meta.title},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVEL.get(meta.severity, "warning"),
+            },
+        }
+        if meta.rationale:
+            rule["fullDescription"] = {
+                "text": " ".join(meta.rationale.split()),
+            }
+        rules.append(rule)
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "rules": rules,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": ([_sarif_result(f, baselined=False) for f in new]
+                        + [_sarif_result(f, baselined=True)
+                           for f in baselined]),
+        }],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _read_sources(paths, root: Path) -> dict[str, str]:
+    sources: dict[str, str] = {}
+    for path in iter_python_files(paths, root):
+        try:
+            rel = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            sources[rel] = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+    return sources
+
+
+def _dump_graph(paths, root: Path, stdout) -> int:
+    """Print the call/lock graphs RL008-RL011 reason over, as JSON."""
+    from repro.lint.project import build_project
+
+    config = LintConfig()
+    sources = _read_sources(paths, root)
+    contexts = []
+    for rel in sorted(sources):
+        try:
+            tree = ast.parse(sources[rel])
+        except SyntaxError:
+            continue
+        contexts.append(ModuleContext(rel=rel, source=sources[rel],
+                                      tree=tree, config=config))
+    project = build_project(contexts, config, sources=sources)
+    print(json.dumps(project.graph_dump(), indent=2), file=stdout)
+    return 0
+
+
+def _prune_baseline(argv: Sequence[str], stdout, stderr) -> int:
+    """``repro lint baseline prune`` — drop entries whose debt is paid."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint baseline",
+        description="Baseline maintenance: prune drops entries whose "
+                    "fingerprint no longer matches any finding and "
+                    "reports each one.")
+    parser.add_argument("action", choices=("prune",))
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"paths to re-lint when deciding staleness "
+             f"(default: {DEFAULT_PATHS})")
+    parser.add_argument("--root", default=None)
+    parser.add_argument(
+        "--baseline", default="tools/lint_baseline.json",
+        help="baseline file to prune (default: "
+             "tools/lint_baseline.json)")
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be dropped without rewriting the file")
+    # intermixed: options may appear between the action and the paths.
+    args = parser.parse_intermixed_args(argv)
+
+    root = Path(args.root).resolve() if args.root else find_repo_root()
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    try:
+        baseline = load_baseline(baseline_path)
+    except (ValueError, json.JSONDecodeError) as error:
+        print(f"repro-lint: bad baseline {baseline_path}: {error}",
+              file=stderr)
+        return 2
+    if not baseline.entries:
+        print("repro-lint: baseline is empty — nothing to prune",
+              file=stdout)
+        return 0
+
+    paths = args.paths or [root / p for p in DEFAULT_PATHS]
+    findings = analyze_paths(paths, root=root)
+    _, kept, stale = baseline.partition(findings)
+    if not stale:
+        print(f"repro-lint: all {len(baseline.entries)} baseline "
+              f"entr{'y is' if len(baseline.entries) == 1 else 'ies are'}"
+              f" still live — nothing to prune", file=stdout)
+        return 0
+    for entry in stale:
+        print(f"pruned {entry.fingerprint} {entry.rule} {entry.path} "
+              f"({entry.tracking})", file=stdout)
+    if args.dry_run:
+        print(f"repro-lint: would prune {len(stale)} stale entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (dry run)",
+              file=stdout)
+        return 0
+    live = {f.fingerprint for f in kept}
+    baseline.entries = [entry for entry in baseline.entries
+                        if entry.fingerprint in live]
+    save_baseline(baseline, baseline_path)
+    print(f"repro-lint: pruned {len(stale)} stale entr"
+          f"{'y' if len(stale) == 1 else 'ies'}; "
+          f"{len(baseline.entries)} remain", file=stdout)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None,
          stdout=None, stderr=None) -> int:
     """Run the lint driver; returns the CI exit code (see module doc).
@@ -130,6 +343,9 @@ def main(argv: Sequence[str] | None = None,
     """
     stdout = stdout or sys.stdout
     stderr = stderr or sys.stderr
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["baseline"]:
+        return _prune_baseline(argv[1:], stdout, stderr)
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -140,11 +356,30 @@ def main(argv: Sequence[str] | None = None,
     root = Path(args.root).resolve() if args.root else find_repo_root()
     paths = args.paths or [root / p for p in DEFAULT_PATHS]
 
+    if args.graph:
+        return _dump_graph(paths, root, stdout)
+
+    cache = None
+    if not args.no_cache:
+        from repro.lint.project import SummaryCache, cache_key
+
+        cache_path = Path(args.cache) if args.cache \
+            else root / DEFAULT_CACHE
+        if not cache_path.is_absolute():
+            cache_path = root / cache_path
+        cache = SummaryCache(cache_path,
+                             cache_key(LintConfig(), args.select))
+
+    started = time.monotonic()
     try:
-        findings = analyze_paths(paths, root=root, select=args.select)
+        findings = analyze_paths(paths, root=root, select=args.select,
+                                 cache=cache)
     except ValueError as error:  # unknown --select code
         print(f"repro-lint: {error}", file=stderr)
         return 2
+    elapsed = time.monotonic() - started
+    if cache is not None:
+        cache.save()
 
     baseline = Baseline()
     baseline_path = None
@@ -177,8 +412,16 @@ def main(argv: Sequence[str] | None = None,
     if args.format == "json":
         print(_render_json(new, baselined, len(stale), exit_code),
               file=stdout)
+    elif args.format == "sarif":
+        print(_render_sarif(new, baselined), file=stdout)
     else:
         print(_render_text(new, baselined, len(stale)), file=stdout)
+
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(f"repro-lint: analysis took {elapsed:.2f}s, over the "
+              f"--max-seconds budget of {args.max_seconds:.2f}s — the "
+              f"summary cache or the analyzer regressed", file=stderr)
+        return 1
     return exit_code
 
 

@@ -86,6 +86,12 @@ class Finding:
         return (self.path, self.line, self.col, self.rule)
 
 
+#: Scopes a rule can run at: ``module`` rules see one file
+#: (:class:`ModuleContext`); ``project`` rules see the whole program
+#: (:class:`repro.lint.project.ProjectContext`).
+SCOPES = ("module", "project")
+
+
 @dataclass(frozen=True)
 class Rule:
     """A registered checker: metadata plus its check callable."""
@@ -93,31 +99,38 @@ class Rule:
     code: str
     title: str
     severity: str
-    check: Callable[["ModuleContext"], list[Finding]]
+    check: Callable[..., list[Finding]]
     rationale: str = ""
+    scope: str = "module"
 
 
 #: The pluggable registry; populated by the :func:`rule` decorator at
-#: import time of :mod:`repro.lint.rules` (or of third-party extensions).
+#: import time of :mod:`repro.lint.rules` /
+#: :mod:`repro.lint.flowrules` (or of third-party extensions).
 RULES: dict[str, Rule] = {}
 
 
-def rule(code: str, title: str, severity: str = "error"):
+def rule(code: str, title: str, severity: str = "error",
+         scope: str = "module"):
     """Class-decorator-free registration: ``@rule("RL001", "...")``.
 
-    The decorated callable receives a :class:`ModuleContext` and returns a
-    list of :class:`Finding`; its docstring becomes the rule's rationale
-    (shown by ``--list-rules``).
+    The decorated callable receives a :class:`ModuleContext` (``scope=
+    "module"``) or a :class:`~repro.lint.project.ProjectContext`
+    (``scope="project"``) and returns a list of :class:`Finding`; its
+    docstring becomes the rule's rationale (shown by ``--list-rules``).
     """
     if severity not in SEVERITIES:
         raise ValueError(f"severity must be one of {SEVERITIES}")
+    if scope not in SCOPES:
+        raise ValueError(f"scope must be one of {SCOPES}")
 
-    def decorate(check: Callable[[ModuleContext], list[Finding]]):
+    def decorate(check: Callable[..., list[Finding]]):
         if code in RULES:
             raise ValueError(f"duplicate rule code {code}")
         RULES[code] = Rule(code=code, title=title, severity=severity,
                            check=check,
-                           rationale=(check.__doc__ or "").strip())
+                           rationale=(check.__doc__ or "").strip(),
+                           scope=scope)
         return check
 
     return decorate
@@ -165,6 +178,47 @@ class LintConfig:
     #: ``random.<fn>`` (stdlib) attributes that are instance constructors,
     #: not module-global state.
     stdlib_rng_allowed: tuple[str, ...] = ("Random", "SystemRandom")
+    #: Calls that hand back a resource needing an explicit lifecycle
+    #: (RL011).  Matched against alias-resolved dotted call targets by
+    #: suffix, so ``sock = socket.socket(...)``, ``shm =
+    #: shared_memory.SharedMemory(...)``, and ``block = SharedArray(...)``
+    #: all register however they were imported.
+    resource_openers: tuple[str, ...] = (
+        "open", "io.open", "socket.socket", "socket.create_connection",
+        "socket.accept", "mmap.mmap", "numpy.memmap", "numpy.load",
+        "shared_memory.SharedMemory", "multiprocessing.shared_memory."
+        "SharedMemory", "SharedArray", "tempfile.NamedTemporaryFile",
+        "gzip.open", "tarfile.open", "zipfile.ZipFile")
+    #: RL009/RL010/RL011 (the interprocedural flow rules) apply under
+    #: these prefixes — the production stack, where a liveness bug is an
+    #: outage.  RL008 (lock-order) is global: an inversion is a bug
+    #: wherever the locks live.
+    flow_scope: tuple[str, ...] = (
+        "src/repro/serving/", "src/repro/training/", "src/repro/service/",
+        "src/repro/netserve/", "src/repro/loadgen/", "src/repro/index/",
+        "src/repro/tasks/")
+    #: Per-prefix rule exemptions: (path prefix, exempted rule codes).
+    #: Tests and benchmarks run a test-appropriate subset — seeded
+    #: fixtures make global-RNG use fine (RL005), fixture threads are
+    #: joined by the harness (RL003), scratch handles live inside
+    #: tmp_path fixtures (RL011), literal metric names / prompt tokens
+    #: are *deliberate* in assertions — pinning the string is how a test
+    #: catches drift in the source of truth (RL007) — and failure-path
+    #: probes swallow on purpose (RL006, tests only).  Tools keep
+    #: everything except RL005 (CLI entry points seed their own
+    #: generators).
+    path_rule_exemptions: tuple[tuple[str, tuple[str, ...]], ...] = (
+        ("tests/", ("RL005", "RL003", "RL011", "RL009", "RL010",
+                    "RL007", "RL006")),
+        ("benchmarks/", ("RL005", "RL003", "RL011", "RL009", "RL010",
+                         "RL007")),
+        ("tools/", ("RL005",)),
+    )
+
+    def exempt(self, rel: str, code: str) -> bool:
+        """Whether ``code`` is switched off for files under ``rel``."""
+        return any(rel.startswith(prefix) and code in codes
+                   for prefix, codes in self.path_rule_exemptions)
 
 
 @dataclass
@@ -314,6 +368,122 @@ def _validate_select(select: Iterable[str] | None) -> set[str] | None:
     return selected
 
 
+def _module_findings(context: ModuleContext,
+                     selected: set[str] | None) -> list[Finding]:
+    """Run the selected module-scope rules over one parsed module."""
+    findings: list[Finding] = []
+    for meta in RULES.values():
+        if meta.scope != "module":
+            continue
+        if selected is not None and meta.code not in selected:
+            continue
+        findings.extend(meta.check(context))
+    return findings
+
+
+def _framework_findings(problems: list[tuple[int, str]], rel: str,
+                        line_text, selected: set[str] | None
+                        ) -> list[Finding]:
+    if selected is not None and FRAMEWORK_CODE not in selected:
+        return []
+    return [Finding(rule=FRAMEWORK_CODE, severity="error", path=rel,
+                    line=line, col=0, message=message,
+                    line_text=line_text(line), qualname="<module>")
+            for line, message in problems]
+
+
+def _apply_exemptions(findings: list[Finding],
+                      config: LintConfig) -> list[Finding]:
+    return [f for f in findings if not config.exempt(f.path, f.rule)]
+
+
+def analyze_sources(sources: dict[str, str],
+                    config: LintConfig | None = None,
+                    select: Iterable[str] | None = None,
+                    cache=None) -> list[Finding]:
+    """Lint a set of in-memory modules as one program.
+
+    ``sources`` maps repo-relative posix paths to source text.  The
+    module-scope rules run per file; the project-scope rules (RL008+) run
+    once over the :class:`~repro.lint.project.ProjectContext` built from
+    every parseable file.  ``cache`` is an optional
+    :class:`~repro.lint.project.SummaryCache`: files whose SHA it knows
+    replay their summary and module findings without re-parsing.
+    """
+    from repro.lint.project import (ModuleSummary, build_project,
+                                    source_sha, summarise_module)
+
+    config = config or LintConfig()
+    selected = _validate_select(select)
+    findings: list[Finding] = []
+    contexts: list[ModuleContext] = []
+    cached_summaries: dict[str, ModuleSummary] = {}
+    suppressions_by_rel: dict[str, list[_Suppression]] = {}
+
+    for rel in sorted(sources):
+        source = sources[rel]
+        if cache is not None:
+            sha = source_sha(source)
+            entry = cache.lookup(rel, sha)
+            if entry is not None:
+                cached_summaries[rel] = ModuleSummary.from_dict(
+                    entry["summary"])
+                findings.extend(Finding(**{
+                    key: value for key, value in raw.items()
+                    if key != "fingerprint"})
+                    for raw in entry["findings"])
+                suppressions_by_rel[rel] = [
+                    _Suppression(line=line, codes=frozenset(codes),
+                                 reason=reason)
+                    for line, codes, reason in entry["suppressions"]]
+                continue
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            findings.append(Finding(
+                rule=FRAMEWORK_CODE, severity="error", path=rel,
+                line=error.lineno or 1, col=error.offset or 0,
+                message=f"syntax error: {error.msg}"))
+            continue
+        context = ModuleContext(rel=rel, source=source, tree=tree,
+                                config=config)
+        contexts.append(context)
+        module_findings = _module_findings(context, selected)
+        suppressions, problems = _parse_suppressions(source)
+        suppressions_by_rel[rel] = suppressions
+        module_findings = _apply_suppressions(module_findings,
+                                              suppressions)
+        module_findings.extend(_framework_findings(
+            problems, rel, context.line_text, selected))
+        findings.extend(module_findings)
+        if cache is not None:
+            cache.store(rel, source_sha(source),
+                        summarise_module(tree, rel, config),
+                        module_findings,
+                        [[s.line, sorted(s.codes), s.reason]
+                         for s in suppressions])
+
+    project_rules = [meta for meta in RULES.values()
+                     if meta.scope == "project"
+                     and (selected is None or meta.code in selected)]
+    if project_rules:
+        project = build_project(contexts, config,
+                                cached=cached_summaries, sources=sources)
+        project_findings: list[Finding] = []
+        for meta in project_rules:
+            project_findings.extend(meta.check(project))
+        by_rel: dict[str, list[Finding]] = {}
+        for finding in project_findings:
+            by_rel.setdefault(finding.path, []).append(finding)
+        for rel, batch in by_rel.items():
+            findings.extend(_apply_suppressions(
+                batch, suppressions_by_rel.get(rel, [])))
+
+    if cache is not None:
+        cache.prune(set(sources))
+    return sorted(_apply_exemptions(findings, config), key=Finding.sort_key)
+
+
 def analyze_source(source: str, rel: str,
                    config: LintConfig | None = None,
                    select: Iterable[str] | None = None) -> list[Finding]:
@@ -321,32 +491,10 @@ def analyze_source(source: str, rel: str,
 
     ``rel`` is the repo-relative posix path used for scoping and
     fingerprints; it does not need to exist on disk, which is what makes
-    fixture-based rule tests cheap.
+    fixture-based rule tests cheap.  Project-scope rules run too, over a
+    one-module program — intra-module call chains still resolve.
     """
-    config = config or LintConfig()
-    selected = _validate_select(select)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as error:
-        return [Finding(rule=FRAMEWORK_CODE, severity="error", path=rel,
-                        line=error.lineno or 1, col=error.offset or 0,
-                        message=f"syntax error: {error.msg}")]
-    context = ModuleContext(rel=rel, source=source, tree=tree, config=config)
-    findings: list[Finding] = []
-    for meta in RULES.values():
-        if selected is not None and meta.code not in selected:
-            continue
-        findings.extend(meta.check(context))
-    suppressions, problems = _parse_suppressions(source)
-    findings = _apply_suppressions(findings, suppressions)
-    if selected is None or FRAMEWORK_CODE in selected:
-        for line, message in problems:
-            findings.append(Finding(
-                rule=FRAMEWORK_CODE, severity="error", path=rel, line=line,
-                col=0, message=message,
-                line_text=context.line_text(line),
-                qualname="<module>"))
-    return sorted(findings, key=Finding.sort_key)
+    return analyze_sources({rel: source}, config=config, select=select)
 
 
 def iter_python_files(paths: Iterable[str | Path],
@@ -370,29 +518,32 @@ def iter_python_files(paths: Iterable[str | Path],
 
 def analyze_paths(paths: Iterable[str | Path], root: str | Path,
                   config: LintConfig | None = None,
-                  select: Iterable[str] | None = None) -> list[Finding]:
+                  select: Iterable[str] | None = None,
+                  cache=None) -> list[Finding]:
     """Lint every Python file under ``paths``; findings sorted by location.
 
     ``root`` is the repository root: file paths are recorded relative to
-    it so fingerprints are stable across checkouts.
+    it so fingerprints are stable across checkouts.  ``cache`` is an
+    optional :class:`~repro.lint.project.SummaryCache` (the caller saves
+    it after the run).
     """
     root = Path(root).resolve()
     _validate_select(select)  # fail fast even when no file matches
     findings: list[Finding] = []
+    sources: dict[str, str] = {}
     for path in iter_python_files(paths, root):
         try:
             rel = path.resolve().relative_to(root).as_posix()
         except ValueError:
             rel = path.as_posix()
         try:
-            source = path.read_text(encoding="utf-8")
+            sources[rel] = path.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError) as error:
             findings.append(Finding(
                 rule=FRAMEWORK_CODE, severity="error", path=rel, line=1,
                 col=0, message=f"unreadable file: {error}"))
-            continue
-        findings.extend(analyze_source(source, rel, config=config,
-                                       select=select))
+    findings.extend(analyze_sources(sources, config=config, select=select,
+                                    cache=cache))
     return sorted(findings, key=Finding.sort_key)
 
 
@@ -403,9 +554,11 @@ __all__ = [
     "ModuleContext",
     "RULES",
     "Rule",
+    "SCOPES",
     "SEVERITIES",
     "analyze_paths",
     "analyze_source",
+    "analyze_sources",
     "iter_python_files",
     "rule",
 ]

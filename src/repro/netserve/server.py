@@ -218,15 +218,25 @@ class TeleServer:
         return self.admission.inflight() == 0
 
     def close(self, timeout_s: float | None = None) -> None:
-        """Drain, then release the listening socket (idempotent)."""
+        """Drain, then release the listening socket (idempotent).
+
+        The whole teardown — drain *and* the accept-thread join — runs
+        against one ``timeout_s`` budget, so a caller's close bound is
+        honoured end to end instead of stretching by a fixed join grace.
+        """
         if self._closed:
             return
         self._closed = True
-        self.drain(timeout_s)
+        budget_s = (self.config.close_timeout_s if timeout_s is None
+                    else timeout_s)
+        started = time.monotonic()
+        self.drain(budget_s)
         if self._tcp is not None:
             self._tcp.server_close()
         if self._accept_thread is not None:
-            self._accept_thread.join(timeout=1.0)
+            remaining_s = max(0.1, budget_s
+                              - (time.monotonic() - started))
+            self._accept_thread.join(timeout=remaining_s)
 
     def __enter__(self) -> "TeleServer":
         return self

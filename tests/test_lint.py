@@ -18,6 +18,7 @@ from repro.lint import (
     LintConfig,
     analyze_paths,
     analyze_source,
+    analyze_sources,
     lint_main,
     load_baseline,
     rule,
@@ -25,6 +26,7 @@ from repro.lint import (
 )
 from repro.lint.baseline import BaselineEntry
 from repro.lint.core import FRAMEWORK_CODE
+from repro.lint.project import SummaryCache, cache_key
 
 ROOT = Path(__file__).resolve().parents[1]
 BASELINE_PATH = ROOT / "tools" / "lint_baseline.json"
@@ -42,19 +44,30 @@ def lint(source, rel=OTHER_REL, select=None):
     return analyze_source(source, rel, select=select)
 
 
+def lint_tree(sources, select=None):
+    """Lint a dict of rel -> source as one program (project rules see
+    the whole call graph)."""
+    return analyze_sources(sources, select=select)
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eleven_rules_registered(self):
         assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-                "RL007"} <= set(RULES)
+                "RL007", "RL008", "RL009", "RL010", "RL011"} <= set(RULES)
 
     def test_rules_carry_metadata(self):
         for meta in RULES.values():
             assert meta.title
             assert meta.rationale, f"{meta.code} has no rationale"
             assert meta.severity in ("error", "warning")
+            assert meta.scope in ("module", "project")
+
+    def test_flow_rules_are_project_scoped(self):
+        for code in ("RL008", "RL009", "RL010", "RL011"):
+            assert RULES[code].scope == "project"
 
     def test_duplicate_code_rejected(self):
         with pytest.raises(ValueError, match="duplicate"):
@@ -513,6 +526,677 @@ def f(directory):
 
 
 # ----------------------------------------------------------------------
+# RL008 — lock-order inversion
+# ----------------------------------------------------------------------
+RL008_INVERSION_BAD = """
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+def first():
+    with lock_a:
+        with lock_b:
+            pass
+
+def second():
+    with lock_b:
+        with lock_a:
+            pass
+"""
+
+RL008_METHOD_BAD = """
+import threading
+
+class Store:
+    def __init__(self):
+        self._index_lock = threading.Lock()
+        self._write_lock = threading.Lock()
+
+    def query(self):
+        with self._index_lock:
+            with self._write_lock:
+                pass
+
+    def commit(self):
+        with self._write_lock:
+            with self._index_lock:
+                pass
+"""
+
+RL008_TRANSITIVE_BAD = """
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+def outer_ab():
+    with lock_a:
+        _take_b()
+
+def _take_b():
+    with lock_b:
+        pass
+
+def outer_ba():
+    with lock_b:
+        with lock_a:
+            pass
+"""
+
+RL008_ORDERED_OK = """
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+def first():
+    with lock_a:
+        with lock_b:
+            pass
+
+def second():
+    with lock_a:
+        with lock_b:
+            pass
+"""
+
+RL008_SINGLE_OK = """
+import threading
+
+lock = threading.Lock()
+
+def f():
+    with lock:
+        pass
+"""
+
+RL008_REENTRANT_OK = """
+import threading
+
+class Store:
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def outer(self):
+        with self._lock:
+            self.inner()
+
+    def inner(self):
+        with self._lock:
+            pass
+"""
+
+
+class TestRL008:
+    def test_module_lock_inversion_flagged(self):
+        found = lint(RL008_INVERSION_BAD, select=["RL008"])
+        assert codes(found) == ["RL008", "RL008"]
+        assert "lock-order inversion" in found[0].message
+
+    def test_instance_lock_inversion_flagged(self):
+        assert codes(lint(RL008_METHOD_BAD,
+                          select=["RL008"])) == ["RL008", "RL008"]
+
+    def test_inversion_through_callee_flagged(self):
+        # No single function nests both orders; the A->B edge exists
+        # only through the resolved call graph.
+        found = lint(RL008_TRANSITIVE_BAD, select=["RL008"])
+        assert "RL008" in codes(found)
+
+    def test_consistent_order_accepted(self):
+        assert lint(RL008_ORDERED_OK, select=["RL008"]) == []
+
+    def test_single_lock_accepted(self):
+        assert lint(RL008_SINGLE_OK, select=["RL008"]) == []
+
+    def test_reentrant_self_acquisition_accepted(self):
+        assert lint(RL008_REENTRANT_OK, select=["RL008"]) == []
+
+    def test_global_scope(self):
+        # RL008 applies outside flow_scope too: an inversion is a bug
+        # wherever the locks live.
+        assert codes(lint(RL008_INVERSION_BAD, rel=OTHER_REL,
+                          select=["RL008"])) == ["RL008", "RL008"]
+
+
+# ----------------------------------------------------------------------
+# RL009 — transitive blocking under a lock
+# ----------------------------------------------------------------------
+RL009_ONE_HOP_BAD = """
+class Service:
+    def serve(self):
+        with self._lock:
+            self._refresh()
+
+    def _refresh(self):
+        self.ready_event.wait()
+"""
+
+RL009_TWO_HOPS_BAD = """
+class Service:
+    def serve(self):
+        with self._lock:
+            self._refresh()
+
+    def _refresh(self):
+        self._drain()
+
+    def _drain(self):
+        return self.queue.get()
+"""
+
+# The PR-4 shape: the encode itself moved one frame below the lock, so
+# RL001 no longer sees it — only the interprocedural rule does.
+RL009_HUNG_ENCODER_REGRESSION = """
+class BatchStore:
+    def lookup(self, names):
+        with self._lock:
+            return self._ensure_vectors(names)
+
+    def _ensure_vectors(self, names):
+        return self.provider.encode([n for n in names])
+"""
+
+RL009_BOUNDED_OK = """
+class Service:
+    def serve(self):
+        with self._lock:
+            self._refresh(timeout_s=1.0)
+
+    def _refresh(self, timeout_s=None):
+        self.ready_event.wait(timeout_s)
+"""
+
+RL009_OUTSIDE_LOCK_OK = """
+class Service:
+    def serve(self):
+        payload = self._refresh()
+        with self._lock:
+            self.cache = payload
+
+    def _refresh(self):
+        return self.queue.get()
+"""
+
+RL009_NONBLOCKING_CALLEE_OK = """
+class Service:
+    def serve(self):
+        with self._lock:
+            self._bump()
+
+    def _bump(self):
+        self.counter += 1
+"""
+
+
+class TestRL009:
+    def test_one_hop_chain_flagged(self):
+        found = lint(RL009_ONE_HOP_BAD, rel=SERVING_REL,
+                     select=["RL009"])
+        assert codes(found) == ["RL009"]
+        assert "_refresh" in found[0].message
+
+    def test_two_hop_chain_flagged(self):
+        assert codes(lint(RL009_TWO_HOPS_BAD, rel=SERVING_REL,
+                          select=["RL009"])) == ["RL009"]
+
+    def test_hung_encoder_regression(self):
+        # Historical: PR 4 fixed a deadlock where a hung provider.encode
+        # ran under the store lock; this is that shape one frame down.
+        found = lint(RL009_HUNG_ENCODER_REGRESSION, rel=SERVING_REL,
+                     select=["RL009"])
+        assert codes(found) == ["RL009"]
+        assert "while holding" in found[0].message
+
+    def test_bounded_call_accepted(self):
+        assert lint(RL009_BOUNDED_OK, rel=SERVING_REL,
+                    select=["RL009"]) == []
+
+    def test_call_outside_lock_accepted(self):
+        assert lint(RL009_OUTSIDE_LOCK_OK, rel=SERVING_REL,
+                    select=["RL009"]) == []
+
+    def test_nonblocking_callee_accepted(self):
+        assert lint(RL009_NONBLOCKING_CALLEE_OK, rel=SERVING_REL,
+                    select=["RL009"]) == []
+
+    def test_out_of_flow_scope_ignored(self):
+        assert lint(RL009_ONE_HOP_BAD, rel=OTHER_REL,
+                    select=["RL009"]) == []
+
+    def test_suppression(self):
+        suppressed = RL009_ONE_HOP_BAD.replace(
+            "self._refresh()",
+            "self._refresh()  # repro-lint: allow[RL009] event set "
+            "before serve is reachable")
+        assert lint(suppressed, rel=SERVING_REL, select=["RL009"]) == []
+
+
+# ----------------------------------------------------------------------
+# RL010 — dropped deadline
+# ----------------------------------------------------------------------
+RL010_WAIT_BAD = """
+class Worker:
+    def flush(self, deadline=None):
+        self.done_event.wait()
+"""
+
+RL010_CALLEE_BAD = """
+class Worker:
+    def close(self, timeout_s=None):
+        self._drain()
+
+    def _drain(self, timeout_s=None):
+        self.queue_empty.wait(timeout_s)
+"""
+
+# The netserve shape fixed in this PR: close(timeout_s) joined the
+# accept thread with a constant instead of the caller's budget.
+RL010_JOIN_REGRESSION = """
+class Server:
+    def close(self, timeout_s=None):
+        self._accept_thread.join()
+"""
+
+RL010_FORWARDED_OK = """
+class Worker:
+    def close(self, timeout_s=None):
+        self._drain(timeout_s=timeout_s)
+
+    def _drain(self, timeout_s=None):
+        self.queue_empty.wait(timeout_s)
+"""
+
+RL010_DERIVED_OK = """
+class Worker:
+    def flush(self, deadline=None):
+        remaining = deadline.remaining()
+        self.done_event.wait(remaining)
+"""
+
+RL010_GUARDED_OK = """
+class Worker:
+    def flush(self, deadline=None):
+        if deadline is None:
+            self.done_event.wait()
+        else:
+            self.done_event.wait(deadline.remaining())
+"""
+
+RL010_NO_DEADLINE_PARAM_OK = """
+class Worker:
+    def flush(self):
+        self.done_event.wait()
+"""
+
+
+class TestRL010:
+    def test_unbounded_wait_flagged(self):
+        found = lint(RL010_WAIT_BAD, rel=SERVING_REL, select=["RL010"])
+        assert codes(found) == ["RL010"]
+        assert "deadline" in found[0].message
+
+    def test_dropped_on_callee_flagged(self):
+        found = lint(RL010_CALLEE_BAD, rel=SERVING_REL,
+                     select=["RL010"])
+        assert codes(found) == ["RL010"]
+        assert "drops the deadline" in found[0].message
+
+    def test_unforwarded_join_regression(self):
+        # Historical: Server.close(timeout_s) joined its accept thread
+        # with a fixed grace, stretching the caller's close budget.
+        assert codes(lint(RL010_JOIN_REGRESSION, rel=SERVING_REL,
+                          select=["RL010"])) == ["RL010"]
+
+    def test_forwarded_deadline_accepted(self):
+        assert lint(RL010_FORWARDED_OK, rel=SERVING_REL,
+                    select=["RL010"]) == []
+
+    def test_derived_value_accepted(self):
+        assert lint(RL010_DERIVED_OK, rel=SERVING_REL,
+                    select=["RL010"]) == []
+
+    def test_guarded_branch_accepted(self):
+        assert lint(RL010_GUARDED_OK, rel=SERVING_REL,
+                    select=["RL010"]) == []
+
+    def test_function_without_deadline_ignored(self):
+        assert lint(RL010_NO_DEADLINE_PARAM_OK, rel=SERVING_REL,
+                    select=["RL010"]) == []
+
+    def test_out_of_flow_scope_ignored(self):
+        assert lint(RL010_WAIT_BAD, rel=OTHER_REL,
+                    select=["RL010"]) == []
+
+
+# ----------------------------------------------------------------------
+# RL011 — resource lifecycle
+# ----------------------------------------------------------------------
+RL011_SOCKET_BAD = """
+import socket
+
+def probe(host):
+    sock = socket.socket()
+    sock.connect((host, 80))
+    return None
+"""
+
+RL011_CONDITIONAL_BAD = """
+def read_header(path):
+    handle = open(path, "rb")
+    header = handle.read(16)
+    if header:
+        handle.close()
+    return header
+"""
+
+# The PR-7 shape: a /dev/shm segment allocated on an error path that
+# returns early without unlink() leaks until reboot.
+RL011_SHARED_ARRAY_REGRESSION = """
+from repro.training.shm import SharedArray
+
+def stage(shape):
+    scratch = SharedArray(shape)
+    scratch.array.fill(0)
+    return None
+"""
+
+RL011_WITH_OK = """
+import socket
+
+def probe(host):
+    with socket.socket() as sock:
+        sock.connect((host, 80))
+"""
+
+RL011_FINALLY_OK = """
+def read_header(path):
+    handle = open(path, "rb")
+    try:
+        return handle.read(16)
+    finally:
+        handle.close()
+"""
+
+RL011_HANDOFF_OK = """
+import socket
+
+def make_conn(host):
+    sock = socket.socket()
+    sock.connect((host, 80))
+    return sock
+"""
+
+RL011_STORED_OK = """
+import socket
+
+class Client:
+    def connect(self, host):
+        sock = socket.socket()
+        self._sock = sock
+"""
+
+
+class TestRL011:
+    def test_never_closed_flagged(self):
+        found = lint(RL011_SOCKET_BAD, rel=SERVING_REL,
+                     select=["RL011"])
+        assert codes(found) == ["RL011"]
+        assert "never closed" in found[0].message
+
+    def test_conditional_close_flagged(self):
+        found = lint(RL011_CONDITIONAL_BAD, rel=SERVING_REL,
+                     select=["RL011"])
+        assert codes(found) == ["RL011"]
+        assert "some paths only" in found[0].message
+
+    def test_shared_array_regression(self):
+        # Historical: PR 7 chased leaked /dev/shm segments from crash
+        # paths that skipped unlink().
+        assert codes(lint(RL011_SHARED_ARRAY_REGRESSION,
+                          rel="src/repro/training/fixture.py",
+                          select=["RL011"])) == ["RL011"]
+
+    @pytest.mark.parametrize("source", [
+        RL011_WITH_OK, RL011_FINALLY_OK, RL011_HANDOFF_OK,
+        RL011_STORED_OK,
+    ], ids=["with", "finally", "returned", "stored-on-self"])
+    def test_lifecycles_accepted(self, source):
+        assert lint(source, rel=SERVING_REL, select=["RL011"]) == []
+
+    def test_out_of_flow_scope_ignored(self):
+        assert lint(RL011_SOCKET_BAD, rel=OTHER_REL,
+                    select=["RL011"]) == []
+
+    def test_suppression(self):
+        suppressed = RL011_SOCKET_BAD.replace(
+            "sock = socket.socket()",
+            "sock = socket.socket()  # repro-lint: allow[RL011] "
+            "process-lifetime probe socket")
+        assert lint(suppressed, rel=SERVING_REL, select=["RL011"]) == []
+
+
+# ----------------------------------------------------------------------
+# Call-graph resolution edge cases (the RL009 carrier shows an edge
+# resolved iff the chain from `serve` to the blocking sink is found).
+# ----------------------------------------------------------------------
+WORKERS_REL = "src/repro/serving/workers.py"
+CALLER_REL = "src/repro/serving/caller.py"
+
+WORKERS_SRC = """
+def spin():
+    return shared_queue.get()
+"""
+
+
+class TestCallGraphResolution:
+    def test_module_import_alias(self):
+        caller = """
+import repro.serving.workers as w
+
+class S:
+    def serve(self):
+        with self._lock:
+            w.spin()
+"""
+        found = lint_tree({WORKERS_REL: WORKERS_SRC,
+                           CALLER_REL: caller}, select=["RL009"])
+        assert codes(found) == ["RL009"]
+
+    def test_from_import_as(self):
+        caller = """
+from repro.serving.workers import spin as go
+
+class S:
+    def serve(self):
+        with self._lock:
+            go()
+"""
+        found = lint_tree({WORKERS_REL: WORKERS_SRC,
+                           CALLER_REL: caller}, select=["RL009"])
+        assert codes(found) == ["RL009"]
+
+    def test_reexport_through_package_init(self):
+        sources = {
+            "src/repro/serving/pool/__init__.py":
+                "from repro.serving.pool.impl import spin\n",
+            "src/repro/serving/pool/impl.py": WORKERS_SRC,
+            CALLER_REL: """
+from repro.serving.pool import spin
+
+class S:
+    def serve(self):
+        with self._lock:
+            spin()
+""",
+        }
+        assert codes(lint_tree(sources, select=["RL009"])) == ["RL009"]
+
+    def test_self_method_through_base_class(self):
+        sources = {
+            "src/repro/serving/base.py": """
+class Base:
+    def _refresh(self):
+        self.ready_event.wait()
+""",
+            CALLER_REL: """
+from repro.serving.base import Base
+
+class S(Base):
+    def serve(self):
+        with self._lock:
+            self._refresh()
+""",
+        }
+        assert codes(lint_tree(sources, select=["RL009"])) == ["RL009"]
+
+    def test_decorated_function_still_resolves(self):
+        caller = """
+import functools
+from repro.serving.workers import spin
+
+def traced(fn):
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+    return wrapper
+
+class S:
+    @traced
+    def serve(self):
+        with self._lock:
+            spin()
+"""
+        found = lint_tree({WORKERS_REL: WORKERS_SRC,
+                           CALLER_REL: caller}, select=["RL009"])
+        assert codes(found) == ["RL009"]
+
+    def test_call_cycle_terminates(self):
+        # a <-> b recursion must not hang the fixpoint; the chain out
+        # of the cycle to the sink is still found.
+        sources = {
+            WORKERS_REL: """
+def ping(n):
+    if n:
+        return pong(n - 1)
+    return shared_queue.get()
+
+def pong(n):
+    return ping(n)
+""",
+            CALLER_REL: """
+from repro.serving.workers import ping
+
+class S:
+    def serve(self):
+        with self._lock:
+            ping(3)
+""",
+        }
+        assert codes(lint_tree(sources, select=["RL009"])) == ["RL009"]
+
+    def test_constructed_instance_type_inferred(self):
+        sources = {
+            WORKERS_REL: """
+class Pool:
+    def drain(self):
+        self.queue.get()
+""",
+            CALLER_REL: """
+from repro.serving.workers import Pool
+
+class S:
+    def __init__(self):
+        self._pool = Pool()
+
+    def serve(self):
+        with self._lock:
+            self._pool.drain()
+""",
+        }
+        assert codes(lint_tree(sources, select=["RL009"])) == ["RL009"]
+
+
+# ----------------------------------------------------------------------
+# Summary cache
+# ----------------------------------------------------------------------
+class TestSummaryCache:
+    def make_tree(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        pkg = tmp_path / "src" / "repro" / "analysis"
+        pkg.mkdir(parents=True)
+        (pkg / "dirty.py").write_text(RL005_BAD)
+        (pkg / "clean.py").write_text("x = 1\n")
+        return tmp_path
+
+    def test_warm_run_hits_and_findings_replay(self, tmp_path):
+        root = self.make_tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        key = cache_key(LintConfig(), None)
+
+        cache = SummaryCache(cache_path, key)
+        cold = analyze_paths([root / "src"], root=root, cache=cache)
+        assert cache.hits == 0 and cache.misses == 2
+        cache.save()
+
+        cache = SummaryCache(cache_path, key)
+        warm = analyze_paths([root / "src"], root=root, cache=cache)
+        assert cache.hits == 2 and cache.misses == 0
+        assert [f.to_dict() for f in warm] == \
+            [f.to_dict() for f in cold]
+
+    def test_edited_file_misses(self, tmp_path):
+        root = self.make_tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        key = cache_key(LintConfig(), None)
+        cache = SummaryCache(cache_path, key)
+        analyze_paths([root / "src"], root=root, cache=cache)
+        cache.save()
+
+        dirty = root / "src" / "repro" / "analysis" / "dirty.py"
+        dirty.write_text("x = 2\n")
+        cache = SummaryCache(cache_path, key)
+        findings = analyze_paths([root / "src"], root=root, cache=cache)
+        assert cache.hits == 1 and cache.misses == 1
+        assert findings == []
+
+    def test_key_change_invalidates_wholesale(self, tmp_path):
+        root = self.make_tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        cache = SummaryCache(cache_path, cache_key(LintConfig(), None))
+        analyze_paths([root / "src"], root=root, cache=cache)
+        cache.save()
+
+        other = SummaryCache(cache_path,
+                             cache_key(LintConfig(), ["RL005"]))
+        assert other.files == {}
+
+    def test_deleted_file_pruned(self, tmp_path):
+        root = self.make_tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        key = cache_key(LintConfig(), None)
+        cache = SummaryCache(cache_path, key)
+        analyze_paths([root / "src"], root=root, cache=cache)
+        cache.save()
+
+        (root / "src" / "repro" / "analysis" / "clean.py").unlink()
+        cache = SummaryCache(cache_path, key)
+        analyze_paths([root / "src"], root=root, cache=cache)
+        cache.save()
+        reloaded = SummaryCache(cache_path, key)
+        assert set(reloaded.files) == {"src/repro/analysis/dirty.py"}
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        root = self.make_tree(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{corrupt")
+        cache = SummaryCache(cache_path, cache_key(LintConfig(), None))
+        findings = analyze_paths([root / "src"], root=root, cache=cache)
+        assert codes(findings) == ["RL005", "RL005", "RL005"]
+
+
+# ----------------------------------------------------------------------
 # Framework: suppressions, syntax errors, fingerprints
 # ----------------------------------------------------------------------
 class TestFramework:
@@ -689,8 +1373,115 @@ class TestCli:
     def test_list_rules(self):
         code, out, _ = run_cli(["--list-rules"])
         assert code == 0
-        for code_name in ("RL001", "RL007"):
+        for code_name in ("RL001", "RL007", "RL008", "RL009", "RL010",
+                          "RL011"):
             assert code_name in out
+
+    def test_sarif_output(self, dirty_tree):
+        code, out, _ = run_cli(["--root", str(dirty_tree),
+                                "--format", "sarif",
+                                str(dirty_tree / "src")])
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"RL001", "RL008", "RL011"} <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "RL005"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == \
+            "src/repro/analysis/dirty.py"
+        assert location["region"]["startColumn"] >= 1
+        assert result["partialFingerprints"]["reproLint/v1"]
+
+    def test_sarif_baselined_results_demoted(self, dirty_tree):
+        run_cli(["--root", str(dirty_tree), "--baseline",
+                 "baseline.json", "--update-baseline",
+                 str(dirty_tree / "src")])
+        code, out, _ = run_cli(["--root", str(dirty_tree),
+                                "--baseline", "baseline.json",
+                                "--format", "sarif",
+                                str(dirty_tree / "src")])
+        assert code == 0
+        results = json.loads(out)["runs"][0]["results"]
+        assert results
+        assert all(r["baselineState"] == "unchanged" and
+                   r["level"] == "note" for r in results)
+
+    def test_graph_dump(self, dirty_tree):
+        pkg = dirty_tree / "src" / "repro" / "analysis"
+        (pkg / "locks.py").write_text(RL008_ORDERED_OK)
+        code, out, _ = run_cli(["--root", str(dirty_tree), "--graph",
+                                str(dirty_tree / "src")])
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload) == {"modules", "functions", "call_edges",
+                                "lock_edges", "lock_cycles"}
+        outers = {edge["outer"] for edge in payload["lock_edges"]}
+        assert any(outer.endswith("lock_a") for outer in outers)
+        assert payload["lock_cycles"] == []
+
+    def test_baseline_prune_drops_stale(self, dirty_tree):
+        baseline = dirty_tree / "baseline.json"
+        run_cli(["--root", str(dirty_tree), "--baseline", str(baseline),
+                 "--update-baseline", str(dirty_tree / "src")])
+        assert len(load_baseline(baseline).entries) == 3
+        dirty = dirty_tree / "src" / "repro" / "analysis" / "dirty.py"
+        dirty.write_text(RL005_BAD.replace(
+            "    random.shuffle([1, 2])\n", ""))
+        code, out, _ = run_cli(["baseline", "prune",
+                                "--root", str(dirty_tree),
+                                "--baseline", str(baseline),
+                                str(dirty_tree / "src")])
+        assert code == 0
+        assert "pruned 1 stale entry" in out
+        assert len(load_baseline(baseline).entries) == 2
+
+    def test_baseline_prune_dry_run(self, dirty_tree):
+        baseline = dirty_tree / "baseline.json"
+        run_cli(["--root", str(dirty_tree), "--baseline", str(baseline),
+                 "--update-baseline", str(dirty_tree / "src")])
+        (dirty_tree / "src" / "repro" / "analysis" / "dirty.py"
+         ).write_text("x = 1\n")
+        code, out, _ = run_cli(["baseline", "prune", "--dry-run",
+                                "--root", str(dirty_tree),
+                                "--baseline", str(baseline),
+                                str(dirty_tree / "src")])
+        assert code == 0 and "dry run" in out
+        assert len(load_baseline(baseline).entries) == 3
+
+    def test_baseline_prune_nothing_stale(self, dirty_tree):
+        baseline = dirty_tree / "baseline.json"
+        run_cli(["--root", str(dirty_tree), "--baseline", str(baseline),
+                 "--update-baseline", str(dirty_tree / "src")])
+        code, out, _ = run_cli(["baseline", "prune",
+                                "--root", str(dirty_tree),
+                                "--baseline", str(baseline),
+                                str(dirty_tree / "src")])
+        assert code == 0 and "nothing to prune" in out
+        assert len(load_baseline(baseline).entries) == 3
+
+    def test_max_seconds_gate(self, dirty_tree):
+        code, _, err = run_cli(["--root", str(dirty_tree),
+                                "--max-seconds", "0", "--no-cache",
+                                str(dirty_tree / "src" / "repro" /
+                                    "analysis" / "dirty.py")])
+        assert code == 1 and "--max-seconds" in err
+
+    def test_default_cache_written_and_reused(self, dirty_tree):
+        run_cli(["--root", str(dirty_tree), str(dirty_tree / "src")])
+        cache_path = dirty_tree / "tools" / ".lint_cache.json"
+        assert cache_path.exists()
+        payload = json.loads(cache_path.read_text())
+        assert "src/repro/analysis/dirty.py" in payload["files"]
+
+    def test_no_cache_skips_the_file(self, dirty_tree):
+        run_cli(["--root", str(dirty_tree), "--no-cache",
+                 str(dirty_tree / "src")])
+        assert not (dirty_tree / "tools" / ".lint_cache.json").exists()
 
 
 # ----------------------------------------------------------------------
